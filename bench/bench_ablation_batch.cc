@@ -1,0 +1,44 @@
+// Ablation: the DQP's batch size (paper Section 3.2: batches amortize
+// fragment-switch overheads; footnote 1 notes the size can vary). In the
+// simulator switching is free, so the visible effect is scheduling
+// granularity: how promptly the processor returns to the highest-priority
+// fragment and how well queues are kept drained.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace dqsched;
+  const auto options = bench::ParseOptions(argc, argv, /*default_scale=*/0.5);
+  bench::PrintPreamble("Batch-size sensitivity of the DQP",
+                       "ablation of Section 3.2's batching", options);
+
+  plan::QuerySetup setup = plan::PaperFigure5Query(options.scale);
+  setup.catalog.sources[0].delay.mean_us *= 3.0;  // give DSE work to overlap
+
+  const int64_t batch_sizes[] = {16, 64, 128, 512, 2048, 8192};
+  TablePrinter table({"batch (tuples)", "DSE (s)", "execution phases",
+                      "planning phases", "stalled (s)"});
+  for (int64_t batch : batch_sizes) {
+    core::MediatorConfig config = bench::DefaultConfig(options);
+    config.strategy.dqp.batch_size = batch;
+    const auto dse = bench::MeasureStrategy(
+        setup, config, core::StrategyKind::kDse, options.repeats);
+    table.AddRow({std::to_string(batch), bench::Cell(dse),
+                  std::to_string(dse.metrics.execution_phases),
+                  std::to_string(dse.metrics.planning_phases),
+                  TablePrinter::Num(ToSecondsF(dse.metrics.stalled_time))});
+  }
+  if (options.csv) {
+    table.PrintCsv(stdout);
+  } else {
+    table.Print(stdout);
+  }
+  std::printf(
+      "\nExpected shape: broad plateau — response time is insensitive over\n"
+      "a wide range (the paper's rationale for batching), degrading only\n"
+      "at extreme sizes where scheduling becomes too coarse.\n");
+  return 0;
+}

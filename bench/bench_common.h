@@ -1,0 +1,74 @@
+// Shared harness for the table/figure reproduction benchmarks. Each bench
+// binary builds query setups, runs the strategies through this helper, and
+// prints one table matching a paper artifact (see DESIGN.md's experiment
+// index and EXPERIMENTS.md for paper-vs-measured notes).
+
+#ifndef DQSCHED_BENCH_BENCH_COMMON_H_
+#define DQSCHED_BENCH_BENCH_COMMON_H_
+
+#include <optional>
+#include <string>
+
+#include "core/mediator.h"
+#include "plan/canonical_plans.h"
+
+namespace dqsched::bench {
+
+/// Command-line options shared by every bench binary.
+///   --scale=<f>    cardinality multiplier (default per bench)
+///   --repeats=<n>  measurements averaged per point, distinct seeds
+///                  (the paper averaged 3; the simulator is deterministic
+///                  per seed, so 1 is representative)
+///   --seed=<n>     base seed
+///   --csv          machine-readable output
+struct BenchOptions {
+  double scale = 1.0;
+  int repeats = 1;
+  uint64_t seed = 42;
+  bool csv = false;
+};
+
+/// Parses argv; unknown flags abort with usage.
+BenchOptions ParseOptions(int argc, char** argv, double default_scale = 1.0);
+
+/// Average response time of one strategy over `repeats` seeds, seconds.
+/// Creation or execution failures surface as an error string.
+struct StrategyOutcome {
+  bool ok = false;
+  double seconds = 0.0;
+  std::string error;
+  /// Metrics of the last repeat (diagnostics).
+  core::ExecutionMetrics metrics;
+};
+
+StrategyOutcome MeasureStrategy(const plan::QuerySetup& setup,
+                                const core::MediatorConfig& config,
+                                core::StrategyKind kind, int repeats);
+
+/// The analytic lower bound for the setup, seconds (first seed's data).
+double LwbSeconds(const plan::QuerySetup& setup,
+                  const core::MediatorConfig& config);
+
+/// "1.234" or "FAIL(<reason>)".
+std::string Cell(const StrategyOutcome& outcome);
+
+/// Percentage gain of dse over seq, as "37.5" (empty on failure).
+std::string GainCell(const StrategyOutcome& seq, const StrategyOutcome& dse);
+
+/// Prints the standard bench preamble.
+void PrintPreamble(const char* title, const char* paper_artifact,
+                   const BenchOptions& options);
+
+/// A MediatorConfig with the paper's defaults and the options' seed.
+core::MediatorConfig DefaultConfig(const BenchOptions& options);
+
+/// The full Figure 6/7 experiment: slow down `relation` of the paper's
+/// query so that its total retrieval time sweeps from the w_min baseline
+/// up to ~10 s (scaled), and compare SEQ / DSE / MA / LWB at every point.
+void RunSlowOneRelationBench(const char* relation,
+                             const char* paper_artifact,
+                             const BenchOptions& options);
+
+}  // namespace dqsched::bench
+
+#endif  // DQSCHED_BENCH_BENCH_COMMON_H_

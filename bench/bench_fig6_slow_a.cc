@@ -1,0 +1,12 @@
+// Reproduces paper Figure 6: response time of SEQ / DSE / MA (plus the
+// analytic LWB) while relation A — which gates half the plan — is
+// increasingly slowed down.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const auto options = dqsched::bench::ParseOptions(argc, argv);
+  dqsched::bench::RunSlowOneRelationBench(
+      "A", "Figure 6 (one slowed-down relation experiments, A)", options);
+  return 0;
+}

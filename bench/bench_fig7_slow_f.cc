@@ -1,0 +1,12 @@
+// Reproduces paper Figure 7: the same slowdown sweep applied to relation
+// F. F blocks far less downstream work than A, so DSE absorbs its delays
+// better (paper Section 5.2's comparison of the two figures).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const auto options = dqsched::bench::ParseOptions(argc, argv);
+  dqsched::bench::RunSlowOneRelationBench(
+      "F", "Figure 7 (one slowed-down relation experiments, F)", options);
+  return 0;
+}

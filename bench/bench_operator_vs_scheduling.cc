@@ -1,0 +1,83 @@
+// Operator-level vs scheduling-level adaptation (paper Section 1.1): the
+// double-pipelined hash join (DPHJ, refs [8,16]) absorbs delivery delays
+// inside the join operator itself; DSE absorbs them by scheduling. This
+// bench compares both (and SEQ) across delay shapes, with the memory
+// price of each — the paper's reasons for choosing the scheduling level
+// were DPHJ's restriction to hash-based plans and its memory appetite.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace dqsched;
+  const auto options = bench::ParseOptions(argc, argv, /*default_scale=*/0.3);
+  bench::PrintPreamble("Operator-level (DPHJ) vs scheduling-level (DSE)",
+                       "Section 1.1 (levels of dynamic adaptation)",
+                       options);
+  const core::MediatorConfig config = bench::DefaultConfig(options);
+
+  struct Case {
+    const char* label;
+    wrapper::DelayKind kind;
+    double param;
+  };
+  const Case cases[] = {
+      {"baseline (w_min)", wrapper::DelayKind::kUniform, 0},
+      {"initial delay on A (+2 s)", wrapper::DelayKind::kInitial, 2000.0},
+      {"bursty A (1000 x 50 ms)", wrapper::DelayKind::kBursty, 50.0},
+      {"slow A (4x)", wrapper::DelayKind::kSlow, 4.0},
+  };
+
+  TablePrinter table({"delay", "SEQ (s)", "DSE (s)", "DPHJ (s)",
+                      "DSE peak (MB)", "DPHJ peak (MB)"});
+  for (const Case& c : cases) {
+    plan::QuerySetup setup = plan::PaperFigure5Query(options.scale);
+    wrapper::DelayConfig& delay = setup.catalog.sources[0].delay;
+    delay.kind = c.kind;
+    delay.initial_delay_ms = c.param;
+    delay.burst_length = 1000;
+    delay.burst_gap_ms = c.param;
+    delay.slow_factor = c.kind == wrapper::DelayKind::kSlow ? c.param : 1.0;
+
+    const auto seq = bench::MeasureStrategy(
+        setup, config, core::StrategyKind::kSeq, options.repeats);
+    const auto dse = bench::MeasureStrategy(
+        setup, config, core::StrategyKind::kDse, options.repeats);
+
+    Result<core::Mediator> mediator =
+        core::Mediator::Create(setup.catalog, setup.plan, config);
+    std::string dphj_cell = "FAIL";
+    std::string dphj_mem = "-";
+    int64_t dphj_peak = 0;
+    if (mediator.ok()) {
+      Result<core::ExecutionMetrics> dphj = mediator->ExecuteDphj();
+      if (dphj.ok()) {
+        dphj_cell = TablePrinter::Num(ToSecondsF(dphj->response_time));
+        dphj_peak = dphj->peak_memory_bytes;
+        dphj_mem = TablePrinter::Num(
+            static_cast<double>(dphj_peak) / 1048576.0, 1);
+      } else {
+        dphj_cell = "FAIL(" + dphj.status().ToString() + ")";
+      }
+    }
+    table.AddRow({c.label, bench::Cell(seq), bench::Cell(dse), dphj_cell,
+                  TablePrinter::Num(
+                      static_cast<double>(dse.metrics.peak_memory_bytes) /
+                          1048576.0,
+                      1),
+                  dphj_mem});
+  }
+  if (options.csv) {
+    table.PrintCsv(stdout);
+  } else {
+    table.Print(stdout);
+  }
+  std::printf(
+      "\nExpected shape: both adaptive strategies beat SEQ under delays;\n"
+      "DPHJ holds BOTH sides of every join resident (roughly 2x+ the\n"
+      "memory), and only exists for hash-based plans — the paper's case\n"
+      "for adapting at the scheduling level instead.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Micro-benchmarks (google-benchmark) of the dynamic machinery's host-side
+// cost. Paper Section 3.3: "the challenge is to produce a reasonable
+// schedule in a short time interval compared to the average processing
+// time of one execution phase" — BM_ComputePlan quantifies that interval
+// for growing plan sizes; the hash-index benchmarks cover the hot probe
+// path every tuple takes.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/dqo.h"
+#include "core/dqs.h"
+#include "exec/hash_index.h"
+#include "plan/query_generator.h"
+#include "wrapper/wrapper.h"
+
+namespace dqsched {
+namespace {
+
+/// Fixture state for a random query of `num_sources` relations.
+struct PlanningFixture {
+  explicit PlanningFixture(int num_sources) {
+    plan::GeneratorConfig gen;
+    gen.num_sources = num_sources;
+    gen.min_cardinality = 1000;
+    gen.max_cardinality = 2000;
+    gen.seed = static_cast<uint64_t>(num_sources);
+    auto generated = plan::GenerateBushyQuery(gen, /*use_optimizer=*/false);
+    DQS_CHECK(generated.ok());
+    setup = std::move(generated.value());
+    auto c = plan::Compile(setup.plan, setup.catalog);
+    DQS_CHECK(c.ok());
+    compiled = std::move(c.value());
+    DQS_CHECK(plan::Annotate(&compiled, setup.catalog, cost).ok());
+    ctx = std::make_unique<exec::ExecContext>(&cost, comm::CommConfig{},
+                                              int64_t{1} << 30);
+    data.reserve(static_cast<size_t>(setup.catalog.num_sources()));
+    for (SourceId s = 0; s < setup.catalog.num_sources(); ++s) {
+      data.push_back(storage::GenerateRelation(
+          setup.catalog.source(s).relation, s, Rng(s + 1)));
+      ctx->comm.AddSource(std::make_unique<wrapper::SimWrapper>(
+                              s, &data.back(),
+                              setup.catalog.source(s).delay, s + 3),
+                          static_cast<double>(cost.MinWaitingTime()));
+    }
+  }
+
+  sim::CostModel cost;
+  plan::QuerySetup setup;
+  plan::CompiledPlan compiled;
+  std::vector<storage::Relation> data;
+  std::unique_ptr<exec::ExecContext> ctx;
+};
+
+void BM_ComputePlan(benchmark::State& state) {
+  PlanningFixture fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    // A fresh ExecutionState per iteration: the first (most expensive)
+    // planning phase, including degradation decisions over every chain.
+    state.PauseTiming();
+    core::ExecutionState exec_state(&fixture.compiled, fixture.ctx.get(),
+                                    core::ExecutionOptions{});
+    core::Dqs dqs(core::DqsConfig{});
+    core::Dqo dqo;
+    state.ResumeTiming();
+    auto sp = dqs.ComputePlan(exec_state, *fixture.ctx, dqo);
+    benchmark::DoNotOptimize(sp);
+  }
+  state.SetLabel(std::to_string(fixture.compiled.num_chains()) + " chains");
+}
+BENCHMARK(BM_ComputePlan)->Arg(3)->Arg(6)->Arg(12)->Arg(24)->Arg(48);
+
+void BM_HashIndexBuild(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<storage::Tuple> tuples(static_cast<size_t>(n));
+  Rng rng(7);
+  for (auto& t : tuples) {
+    t.keys[0] = static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(n)));
+  }
+  for (auto _ : state) {
+    exec::HashIndex index;
+    index.Build(tuples, 0);
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashIndexBuild)->Arg(1000)->Arg(100000);
+
+void BM_HashIndexProbe(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<storage::Tuple> tuples(static_cast<size_t>(n));
+  Rng rng(7);
+  for (auto& t : tuples) {
+    t.keys[0] = static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(n)));
+  }
+  exec::HashIndex index;
+  index.Build(tuples, 0);
+  int64_t probe_key = 0;
+  size_t sink = 0;
+  for (auto _ : state) {
+    index.ForEachMatch(probe_key, [&](size_t i) { sink += i; });
+    probe_key = (probe_key + 1) % n;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashIndexProbe)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace dqsched
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Scenario: the three problematic delay classes the literature identifies
+// (paper Section 1.2, after Amsaleg et al.): initial delay, bursty
+// arrival, slow delivery. Timeout-based query scrambling targets initial
+// delays; DSE handles all three with one mechanism.
+//
+//   ./example_delay_models
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "core/mediator.h"
+#include "plan/canonical_plans.h"
+
+int main() {
+  using namespace dqsched;
+
+  struct Scenario {
+    const char* name;
+    const char* story;
+    wrapper::DelayConfig delay;
+  };
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s{"initial delay",
+               "the source spends 1.5 s optimizing/queueing before the "
+               "first tuple",
+               {}};
+    s.delay.kind = wrapper::DelayKind::kInitial;
+    s.delay.initial_delay_ms = 1500.0;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"bursty arrival",
+               "tuples come in 1000-tuple bursts separated by ~80 ms of "
+               "silence",
+               {}};
+    s.delay.kind = wrapper::DelayKind::kBursty;
+    s.delay.burst_length = 1000;
+    s.delay.burst_gap_ms = 80.0;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"slow delivery",
+               "the remote site is overloaded: steady but 6x slower",
+               {}};
+    s.delay.kind = wrapper::DelayKind::kSlow;
+    s.delay.slow_factor = 6.0;
+    scenarios.push_back(s);
+  }
+
+  TablePrinter table({"delay on B", "SEQ (s)", "DSE (s)", "gain (%)"});
+  for (const Scenario& scenario : scenarios) {
+    std::printf("%-15s %s\n", scenario.name, scenario.story);
+    plan::QuerySetup setup = plan::PaperFigure5Query(0.3);
+    setup.catalog.sources[1].delay = scenario.delay;  // relation B
+    Result<core::Mediator> mediator = core::Mediator::Create(
+        std::move(setup.catalog), std::move(setup.plan),
+        core::MediatorConfig{});
+    if (!mediator.ok()) {
+      std::fprintf(stderr, "%s\n", mediator.status().ToString().c_str());
+      return 1;
+    }
+    Result<core::ExecutionMetrics> seq =
+        mediator->Execute(core::StrategyKind::kSeq);
+    Result<core::ExecutionMetrics> dse =
+        mediator->Execute(core::StrategyKind::kDse);
+    if (!seq.ok() || !dse.ok()) {
+      std::fprintf(stderr, "execution failed\n");
+      return 1;
+    }
+    const double s = ToSecondsF(seq->response_time);
+    const double d = ToSecondsF(dse->response_time);
+    table.AddRow({scenario.name, TablePrinter::Num(s), TablePrinter::Num(d),
+                  TablePrinter::Num(100.0 * (s - d) / s, 1)});
+  }
+  std::printf("\n");
+  table.Print(stdout);
+  std::printf(
+      "\nOne scheduling mechanism — monitor rates, degrade blocked critical\n"
+      "chains, interleave by priority — absorbs all three delay shapes;\n"
+      "no timeout tuning involved (paper Sections 1.3 and 6).\n");
+  return 0;
+}

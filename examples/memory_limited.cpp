@@ -1,0 +1,64 @@
+// Scenario: the memory available at run time is far below what the
+// compile-time plan assumed (paper Section 4.2). The dynamic optimizer
+// (DQO) reacts to M-schedulability violations by evicting resident
+// operands and splitting chains into disk-staged fragments, instead of
+// letting the system thrash.
+//
+//   ./example_memory_limited [budget_mb]   (default sweeps several)
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "core/mediator.h"
+#include "plan/canonical_plans.h"
+
+int main(int argc, char** argv) {
+  using namespace dqsched;
+  std::vector<double> budgets_mb;
+  if (argc > 1) {
+    budgets_mb.push_back(std::atof(argv[1]));
+  } else {
+    budgets_mb = {64, 8, 4, 2, 1};
+  }
+
+  const plan::QuerySetup base = plan::PaperFigure5Query(0.2);
+  TablePrinter table({"memory (MB)", "DSE response (s)", "operand spills +",
+                      "DQO splits", "peak memory (MB)", "result tuples"});
+  for (double mb : budgets_mb) {
+    plan::QuerySetup setup = base;
+    core::MediatorConfig config;
+    config.memory_budget_bytes = static_cast<int64_t>(mb * 1024 * 1024);
+    Result<core::Mediator> mediator = core::Mediator::Create(
+        std::move(setup.catalog), std::move(setup.plan), std::move(config));
+    if (!mediator.ok()) {
+      std::fprintf(stderr, "%s\n", mediator.status().ToString().c_str());
+      return 1;
+    }
+    Result<core::ExecutionMetrics> m =
+        mediator->Execute(core::StrategyKind::kDse);
+    if (!m.ok()) {
+      table.AddRow({TablePrinter::Num(mb, 1),
+                    "infeasible (" + std::string(m.status().ToString()) + ")",
+                    "-", "-", "-", "-"});
+      continue;
+    }
+    table.AddRow(
+        {TablePrinter::Num(mb, 1),
+         TablePrinter::Num(ToSecondsF(m->response_time)),
+         std::to_string(m->temps.temps_created),
+         std::to_string(m->dqo_splits),
+         TablePrinter::Num(
+             static_cast<double>(m->peak_memory_bytes) / 1048576.0, 2),
+         std::to_string(m->result_count)});
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nThe answer (result tuples) is identical at every feasible budget;\n"
+      "shrinking memory trades disk traffic and response time for\n"
+      "fitting — never correctness. Below the feasibility floor (one\n"
+      "join's operand + hash index alone exceeding the budget) execution\n"
+      "is rejected cleanly.\n");
+  return 0;
+}

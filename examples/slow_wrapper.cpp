@@ -1,0 +1,61 @@
+// Scenario: one remote source turns slow (an overloaded site), the exact
+// situation the paper's dynamic scheduling targets. Shows how the engine
+// adapts — rate-change events, PC degradations, CF activations — and what
+// that buys over the classical iterator model.
+//
+//   ./example_slow_wrapper [slowdown_factor]   (default 5)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table_printer.h"
+#include "core/mediator.h"
+#include "plan/canonical_plans.h"
+
+int main(int argc, char** argv) {
+  using namespace dqsched;
+  const double factor = argc > 1 ? std::atof(argv[1]) : 5.0;
+
+  // Paper query at 30% scale; relation A — which gates half the plan —
+  // delivers `factor` times slower than the 100 Mb/s baseline.
+  plan::QuerySetup setup = plan::PaperFigure5Query(0.3);
+  setup.catalog.sources[0].delay.kind = wrapper::DelayKind::kSlow;
+  setup.catalog.sources[0].delay.slow_factor = factor;
+  std::printf("relation A slowed %.1fx (mean inter-tuple delay %.0f us)\n\n",
+              factor,
+              setup.catalog.sources[0].delay.mean_us * factor);
+
+  Result<core::Mediator> mediator = core::Mediator::Create(
+      std::move(setup.catalog), std::move(setup.plan),
+      core::MediatorConfig{});
+  if (!mediator.ok()) {
+    std::fprintf(stderr, "%s\n", mediator.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table({"strategy", "response (s)", "stalled (s)",
+                      "rate-change events", "degradations",
+                      "CF activations"});
+  for (core::StrategyKind kind :
+       {core::StrategyKind::kSeq, core::StrategyKind::kDse}) {
+    Result<core::ExecutionMetrics> m = mediator->Execute(kind);
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", core::StrategyName(kind),
+                   m.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({core::StrategyName(kind),
+                  TablePrinter::Num(ToSecondsF(m->response_time)),
+                  TablePrinter::Num(ToSecondsF(m->stalled_time)),
+                  std::to_string(m->rate_change_events),
+                  std::to_string(m->degradations),
+                  std::to_string(m->cf_activations)});
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nSEQ stalls whenever A's tuples are late; DSE detects A's actual\n"
+      "rate (rate-change events), degrades blocked critical chains into\n"
+      "materialization fragments, and fills every waiting gap with useful\n"
+      "work — then resumes the degraded chains as complement fragments.\n");
+  return 0;
+}

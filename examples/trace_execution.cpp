@@ -1,0 +1,50 @@
+// Scenario: look inside a DSE run — the paper's authors diagnosed their
+// scheduler by "checking the execution traces" (Section 5.3). Prints the
+// scheduler's decision log (planning phases, degradations, CF
+// activations) and an ASCII timeline of which fragment consumed tuples
+// when, making the overlap visible.
+//
+//   ./example_trace_execution [scale]   (default 0.2)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/mediator.h"
+#include "plan/canonical_plans.h"
+
+int main(int argc, char** argv) {
+  using namespace dqsched;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.2;
+
+  plan::QuerySetup setup = plan::PaperFigure5Query(scale);
+  setup.catalog.sources[0].delay.mean_us *= 3.0;  // A is slow today
+
+  Result<core::Mediator> mediator = core::Mediator::Create(
+      std::move(setup.catalog), std::move(setup.plan),
+      core::MediatorConfig{});
+  if (!mediator.ok()) {
+    std::fprintf(stderr, "%s\n", mediator.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<core::Mediator::TracedExecution> run =
+      mediator->ExecuteTraced(core::StrategyKind::kDse);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("response time: %s\n\n",
+              FormatDuration(run->metrics.response_time).c_str());
+  std::printf("--- scheduler decision log (first 30 events) ---\n%s\n",
+              run->trace.RenderEventLog(30).c_str());
+  std::printf("--- activity timeline ---\n%s\n",
+              run->trace.RenderTimeline(run->fragment_names).c_str());
+  std::printf(
+      "Reading the timeline: p_A drips slowly across the whole run (it is\n"
+      "the slowed source); the MF rows show blocked chains buffering to\n"
+      "disk concurrently; the CF rows light up as their ancestors finish\n"
+      "and drain the materialized prefixes. Dense '#' regions are where\n"
+      "the engine overlapped delays with useful work.\n");
+  return 0;
+}

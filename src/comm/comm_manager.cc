@@ -1,0 +1,112 @@
+#include "comm/comm_manager.h"
+
+#include "common/macros.h"
+
+namespace dqsched::comm {
+
+void CommManager::AddSource(std::unique_ptr<wrapper::SimWrapper> w,
+                            double prior_wait_ns) {
+  DQS_CHECK_MSG(w->id() == num_sources(),
+                "sources must be added in id order (got %d, expected %d)",
+                w->id(), num_sources());
+  wrappers_.push_back(std::move(w));
+  queues_.push_back(std::make_unique<TupleQueue>(config_.queue_capacity));
+  auto est = std::make_unique<RateEstimator>(config_.estimator_alpha);
+  est->SetPrior(prior_wait_ns);
+  estimators_.push_back(std::move(est));
+  snapshots_.push_back(PlanSnapshot{prior_wait_ns, 0});
+}
+
+void CommManager::PumpAll(SimTime now) {
+  for (size_t i = 0; i < wrappers_.size(); ++i) {
+    wrappers_[i]->PumpInto(*queues_[i], now, estimators_[i].get());
+  }
+}
+
+int64_t CommManager::Pop(SourceId source, SimTime now, storage::Tuple* out,
+                         int64_t max) {
+  auto& w = *wrappers_[static_cast<size_t>(source)];
+  auto& q = *queues_[static_cast<size_t>(source)];
+  auto* est = estimators_[static_cast<size_t>(source)].get();
+  w.PumpInto(q, now, est);
+  const int64_t n = q.PopBatch(out, max);
+  // Draining may unblock a suspended producer: its pending tuple enters at
+  // the drain time.
+  w.PumpInto(q, now, est);
+  return n;
+}
+
+int64_t CommManager::Available(SourceId source, SimTime now) {
+  auto& w = *wrappers_[static_cast<size_t>(source)];
+  auto& q = *queues_[static_cast<size_t>(source)];
+  w.PumpInto(q, now, estimators_[static_cast<size_t>(source)].get());
+  return q.size();
+}
+
+bool CommManager::SourceExhausted(SourceId source) const {
+  return wrappers_[static_cast<size_t>(source)]->Exhausted() &&
+         queues_[static_cast<size_t>(source)]->Empty();
+}
+
+SimTime CommManager::NextArrival(SourceId source) const {
+  return wrappers_[static_cast<size_t>(source)]->NextArrival();
+}
+
+double CommManager::EstimatedWaitNs(SourceId source) const {
+  return estimators_[static_cast<size_t>(source)]->MeanInterArrivalNs();
+}
+
+bool CommManager::EstimateWarm(SourceId source) const {
+  return estimators_[static_cast<size_t>(source)]->warm();
+}
+
+int64_t CommManager::RemainingTuples(SourceId source) const {
+  return wrappers_[static_cast<size_t>(source)]->remaining() +
+         queues_[static_cast<size_t>(source)]->size();
+}
+
+void CommManager::MarkPlanned(SimTime) {
+  for (size_t i = 0; i < estimators_.size(); ++i) {
+    snapshots_[i].wait_ns = estimators_[i]->MeanInterArrivalNs();
+    snapshots_[i].samples = estimators_[i]->samples();
+    snapshots_[i].warm = estimators_[i]->warm();
+  }
+}
+
+bool CommManager::RateChangedSincePlan(SimTime now) {
+  // Warm-up transitions are exempt from the cooldown: each fires at most
+  // once per source, and deferring them would delay the scheduler's first
+  // informed degradation decisions.
+  for (size_t i = 0; i < estimators_.size(); ++i) {
+    if (wrappers_[i]->Exhausted()) continue;
+    // A source planned on its prior has since produced real observations:
+    // the plan's estimates are stale by construction.
+    if (!snapshots_[i].warm && estimators_[i]->warm()) {
+      last_signal_ = now;
+      ++rate_change_signals_;
+      return true;
+    }
+  }
+  if (last_signal_ >= 0 && now - last_signal_ < config_.rate_change_cooldown) {
+    return false;
+  }
+  for (size_t i = 0; i < estimators_.size(); ++i) {
+    const auto& est = *estimators_[i];
+    if (wrappers_[i]->Exhausted()) continue;
+    if (est.samples() - snapshots_[i].samples <
+        config_.rate_change_min_samples) {
+      continue;
+    }
+    const double ref = snapshots_[i].wait_ns;
+    const double cur = est.MeanInterArrivalNs();
+    if (cur > ref * config_.rate_change_ratio ||
+        cur < ref / config_.rate_change_ratio) {
+      last_signal_ = now;
+      ++rate_change_signals_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dqsched::comm

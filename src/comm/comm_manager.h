@@ -1,0 +1,121 @@
+// The Communication Manager (CM) of the paper's architecture (Section 3.1).
+//
+// Owns the simulated wrappers, their bounded tuple queues (window-protocol
+// flow control), and a delivery-rate estimator per source. The query
+// processor consumes exclusively through this class; the CM lazily pumps
+// wrapper production up to the current virtual time, which is equivalent to
+// the asynchronous producer/consumer of the paper in a single-threaded
+// discrete-event setting.
+
+#ifndef DQSCHED_COMM_COMM_MANAGER_H_
+#define DQSCHED_COMM_COMM_MANAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "comm/rate_estimator.h"
+#include "comm/tuple_queue.h"
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "storage/tuple.h"
+#include "wrapper/wrapper.h"
+
+namespace dqsched::comm {
+
+/// Tunables of the communication layer.
+struct CommConfig {
+  /// Queue capacity in tuples (the "given size" of paper Section 2.1).
+  int64_t queue_capacity = 1024;
+  /// A source's delivery rate is "significantly changed" when the live
+  /// estimate deviates from the last planning snapshot by this factor.
+  double rate_change_ratio = 2.0;
+  /// Minimum samples since the snapshot before a ratio-based change can be
+  /// signaled.
+  int64_t rate_change_min_samples = 64;
+  /// Minimum virtual time between two RateChange signals (global),
+  /// preventing replanning storms.
+  SimDuration rate_change_cooldown = Milliseconds(50);
+  /// EWMA weight for the rate estimator.
+  double estimator_alpha = 0.02;
+};
+
+/// Mediator-side communication endpoint for all wrappers of one execution.
+class CommManager {
+ public:
+  explicit CommManager(const CommConfig& config) : config_(config) {}
+
+  CommManager(const CommManager&) = delete;
+  CommManager& operator=(const CommManager&) = delete;
+
+  /// Registers a wrapper; source ids must be added in order (0, 1, ...).
+  /// `prior_wait_ns` seeds the rate estimator (the compile-time assumption).
+  void AddSource(std::unique_ptr<wrapper::SimWrapper> w, double prior_wait_ns);
+
+  int num_sources() const { return static_cast<int>(wrappers_.size()); }
+
+  /// Delivers all due production of every wrapper up to `now`.
+  void PumpAll(SimTime now);
+
+  /// Pops up to `max` tuples of `source`, after pumping; pumps again after
+  /// popping so a suspended producer resumes immediately (window protocol).
+  int64_t Pop(SourceId source, SimTime now, storage::Tuple* out, int64_t max);
+
+  /// Tuples ready for consumption right now (pumps first).
+  int64_t Available(SourceId source, SimTime now);
+
+  /// True when the wrapper has produced everything and the queue is empty.
+  bool SourceExhausted(SourceId source) const;
+
+  /// Earliest time a new tuple from `source` can appear, kSimTimeNever if
+  /// exhausted or suspended-on-full-queue (consume to unblock).
+  SimTime NextArrival(SourceId source) const;
+
+  /// Current estimate of the mean inter-arrival time w of `source`.
+  double EstimatedWaitNs(SourceId source) const;
+
+  /// True once `source`'s estimate is based on observation, not the prior.
+  bool EstimateWarm(SourceId source) const;
+
+  /// Tuples of `source` not yet consumed by the engine (wrapper remainder
+  /// plus queued): the scheduler's n_p.
+  int64_t RemainingTuples(SourceId source) const;
+
+  /// Snapshot all estimates; subsequent RateChangedSincePlan() calls
+  /// compare against this snapshot.
+  void MarkPlanned(SimTime now);
+
+  /// True when some source's estimate deviates from the planning snapshot
+  /// by more than the configured ratio (subject to warmup and cooldown),
+  /// or when a source that was un-warm at the snapshot has warmed up since
+  /// (initial observations supersede the compile-time prior). The trigger
+  /// is recorded; the caller decides to replan.
+  bool RateChangedSincePlan(SimTime now);
+
+  int64_t rate_change_signals() const { return rate_change_signals_; }
+
+  const wrapper::SimWrapper& wrapper(SourceId source) const {
+    return *wrappers_[static_cast<size_t>(source)];
+  }
+  const TupleQueue& queue(SourceId source) const {
+    return *queues_[static_cast<size_t>(source)];
+  }
+
+ private:
+  struct PlanSnapshot {
+    double wait_ns = 0.0;
+    int64_t samples = 0;
+    bool warm = false;
+  };
+
+  CommConfig config_;
+  std::vector<std::unique_ptr<wrapper::SimWrapper>> wrappers_;
+  std::vector<std::unique_ptr<TupleQueue>> queues_;
+  std::vector<std::unique_ptr<RateEstimator>> estimators_;
+  std::vector<PlanSnapshot> snapshots_;
+  SimTime last_signal_ = -1;
+  int64_t rate_change_signals_ = 0;
+};
+
+}  // namespace dqsched::comm
+
+#endif  // DQSCHED_COMM_COMM_MANAGER_H_

@@ -1,0 +1,23 @@
+#include "comm/rate_estimator.h"
+
+#include <algorithm>
+
+namespace dqsched::comm {
+
+void RateEstimator::OnArrival(SimTime t) {
+  const double gap = static_cast<double>(t - last_arrival_);
+  last_arrival_ = t;
+  ++samples_;
+  if (samples_ == 1) {
+    ewma_ns_ = gap;
+  } else {
+    ewma_ns_ += alpha_ * (gap - ewma_ns_);
+  }
+}
+
+double RateEstimator::MeanInterArrivalNs() const {
+  const double est = samples_ >= warmup_ ? ewma_ns_ : prior_ns_;
+  return std::max(est, 1.0);
+}
+
+}  // namespace dqsched::comm

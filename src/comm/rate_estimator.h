@@ -1,0 +1,59 @@
+// Delivery-rate estimation.
+//
+// "The communication manager is responsible for computing an estimate of
+// the delivery rate and signaling any significant changes" (paper Section
+// 3.1). The estimator tracks an exponentially weighted moving average of
+// inter-arrival times; the manager compares the live estimate against the
+// snapshot taken at the last planning phase to raise RateChange events.
+
+#ifndef DQSCHED_COMM_RATE_ESTIMATOR_H_
+#define DQSCHED_COMM_RATE_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "wrapper/wrapper.h"
+
+namespace dqsched::comm {
+
+/// EWMA of inter-arrival times with a configurable prior used until enough
+/// samples arrive.
+class RateEstimator final : public wrapper::ArrivalObserver {
+ public:
+  /// `alpha` is the EWMA weight of a new sample; `warmup` the number of
+  /// samples before the estimate supersedes the prior.
+  explicit RateEstimator(double alpha = 0.02, int64_t warmup = 16)
+      : alpha_(alpha), warmup_(warmup) {}
+
+  /// Sets the pre-observation estimate (what a static optimizer assumed).
+  void SetPrior(double mean_ns) { prior_ns_ = mean_ns; }
+  double prior_ns() const { return prior_ns_; }
+
+  /// Feeds one arrival timestamp (virtual time, non-decreasing).
+  void OnArrival(SimTime t) override;
+
+  /// Advances the reference time without sampling (backpressure-resume
+  /// arrivals; see wrapper::ArrivalObserver).
+  void OnArrivalSuppressed(SimTime t) override { last_arrival_ = t; }
+
+  /// Current mean inter-arrival estimate in nanoseconds (>= 1).
+  double MeanInterArrivalNs() const;
+
+  int64_t samples() const { return samples_; }
+  /// True once enough samples arrived for the estimate to supersede the
+  /// prior. The scheduler defers irreversible decisions (degradation)
+  /// until then.
+  bool warm() const { return samples_ >= warmup_; }
+
+ private:
+  double alpha_;
+  int64_t warmup_;
+  double prior_ns_ = 1.0;
+  double ewma_ns_ = 0.0;
+  SimTime last_arrival_ = 0;
+  int64_t samples_ = 0;
+};
+
+}  // namespace dqsched::comm
+
+#endif  // DQSCHED_COMM_RATE_ESTIMATOR_H_

@@ -1,0 +1,3 @@
+#include "comm/tuple_queue.h"
+
+// TupleQueue is header-only; this file anchors the header in the build.

@@ -1,0 +1,74 @@
+// Bounded per-wrapper tuple queue with window-protocol semantics.
+//
+// "The query engine ... creates a queue of a given size in order to buffer
+// the received tuples. ... If the relevant destination queue is full,
+// sub-query processing at the wrapper is suspended" (paper Section 2.1).
+// The queue itself is a plain bounded ring buffer; suspension/resumption
+// lives in SimWrapper + CommManager.
+
+#ifndef DQSCHED_COMM_TUPLE_QUEUE_H_
+#define DQSCHED_COMM_TUPLE_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "common/macros.h"
+#include "storage/tuple.h"
+
+namespace dqsched::comm {
+
+/// Bounded FIFO of tuples with producer-close (end of stream) and lossless
+/// sequence accounting.
+class TupleQueue {
+ public:
+  explicit TupleQueue(int64_t capacity) : capacity_(capacity) {
+    DQS_CHECK_MSG(capacity > 0, "queue capacity must be > 0");
+  }
+
+  int64_t capacity() const { return capacity_; }
+  int64_t size() const { return static_cast<int64_t>(buffer_.size()); }
+  bool Empty() const { return buffer_.empty(); }
+  bool Full() const { return size() >= capacity_; }
+
+  /// Enqueues one tuple. Aborts when full or closed — flow control must be
+  /// enforced by the producer.
+  void Push(const storage::Tuple& t) {
+    DQS_CHECK_MSG(!Full(), "push into full queue");
+    DQS_CHECK_MSG(!producer_closed_, "push into closed queue");
+    buffer_.push_back(t);
+    ++pushed_;
+  }
+
+  /// Dequeues up to `max` tuples into `out`; returns the count.
+  int64_t PopBatch(storage::Tuple* out, int64_t max) {
+    int64_t n = 0;
+    while (n < max && !buffer_.empty()) {
+      out[n++] = buffer_.front();
+      buffer_.pop_front();
+    }
+    popped_ += n;
+    return n;
+  }
+
+  /// Producer signals it will deliver nothing more.
+  void CloseProducer() { producer_closed_ = true; }
+  bool producer_closed() const { return producer_closed_; }
+
+  /// No data now and none ever coming.
+  bool Exhausted() const { return producer_closed_ && buffer_.empty(); }
+
+  /// Lossless-delivery accounting (invariant tests).
+  int64_t total_pushed() const { return pushed_; }
+  int64_t total_popped() const { return popped_; }
+
+ private:
+  int64_t capacity_;
+  std::deque<storage::Tuple> buffer_;
+  bool producer_closed_ = false;
+  int64_t pushed_ = 0;
+  int64_t popped_ = 0;
+};
+
+}  // namespace dqsched::comm
+
+#endif  // DQSCHED_COMM_TUPLE_QUEUE_H_

@@ -1,0 +1,26 @@
+// Shared identifier types. Plain integer ids keep the plan/runtime
+// structures POD-ish and cheap to copy; -1 is "none" everywhere.
+
+#ifndef DQSCHED_COMMON_IDS_H_
+#define DQSCHED_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace dqsched {
+
+/// Index of a data source (wrapper) in the catalog.
+using SourceId = int32_t;
+/// Node id within a logical plan.
+using NodeId = int32_t;
+/// Id of a compiled pipeline chain / query fragment.
+using ChainId = int32_t;
+/// Id of a join within a compiled plan (dense, compile order).
+using JoinId = int32_t;
+/// Id of a temporary relation in the temp store.
+using TempId = int32_t;
+
+inline constexpr int32_t kInvalidId = -1;
+
+}  // namespace dqsched
+
+#endif  // DQSCHED_COMMON_IDS_H_

@@ -1,0 +1,44 @@
+// Runtime-check macros used throughout dqsched.
+//
+// The library does not use exceptions for control flow; unrecoverable
+// programming errors abort with a diagnostic, recoverable conditions flow
+// through dqsched::Status (see common/status.h).
+
+#ifndef DQSCHED_COMMON_MACROS_H_
+#define DQSCHED_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the process with a message when `cond` is false. Used for internal
+// invariants whose violation indicates a bug in the library, never for
+// user-input validation (which returns Status).
+#define DQS_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "DQS_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Like DQS_CHECK but with a printf-style explanation.
+#define DQS_CHECK_MSG(cond, ...)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "DQS_CHECK failed at %s:%d: %s: ", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Propagates a non-OK Status from the current function.
+#define DQS_RETURN_IF_ERROR(expr)                                           \
+  do {                                                                      \
+    ::dqsched::Status dqs_status_ = (expr);                                 \
+    if (!dqs_status_.ok()) return dqs_status_;                              \
+  } while (0)
+
+#endif  // DQSCHED_COMMON_MACROS_H_

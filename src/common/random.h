@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulator (delay models, data
+// generation, the query generator) draws from an explicitly seeded Rng so
+// that a (configuration, seed) pair fully determines an execution — a core
+// requirement for the reproducibility tests in tests/.
+
+#ifndef DQSCHED_COMMON_RANDOM_H_
+#define DQSCHED_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace dqsched {
+
+/// xoshiro256** generator seeded via SplitMix64. Fast, high quality, and —
+/// unlike std::mt19937 + std::uniform_*_distribution — bit-identical across
+/// standard library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Reseed(seed); }
+
+  /// Reinitializes the state from `seed`.
+  void Reseed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling to avoid modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [0, 2*mean): the paper's per-tuple delay model
+  /// (Section 5.1.3), which has the given mean.
+  double UniformZeroToTwice(double mean);
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p);
+
+  /// Exponential with the given mean (used by the bursty delay model).
+  double Exponential(double mean);
+
+  /// Derives an independent child generator; convenient for giving each
+  /// wrapper / component its own stream from one top-level seed.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace dqsched
+
+#endif  // DQSCHED_COMMON_RANDOM_H_

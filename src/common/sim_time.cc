@@ -1,0 +1,24 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace dqsched {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const double abs = d < 0 ? -static_cast<double>(d) : static_cast<double>(d);
+  if (d == kSimTimeNever) {
+    return "never";
+  } else if (abs < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(d));
+  } else if (abs < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", d / 1e3);
+  } else if (abs < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", d / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", d / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace dqsched

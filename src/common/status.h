@@ -1,0 +1,112 @@
+// Lightweight Status / Result error handling, in the style of Abseil and
+// Arrow. All fallible public APIs in dqsched return Status or Result<T>.
+
+#ifndef DQSCHED_COMMON_STATUS_H_
+#define DQSCHED_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace dqsched {
+
+// Error taxonomy for the library. Kept small on purpose: callers mostly
+// branch on ok() vs not, the code is for diagnostics and tests.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed plan, bad configuration value
+  kNotFound,          // unknown source / node / fragment id
+  kResourceExhausted, // memory budget cannot accommodate the request
+  kFailedPrecondition,// operation invoked in the wrong engine state
+  kInternal,          // invariant violation surfaced as a recoverable error
+};
+
+/// Returns a short stable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-type result of a fallible operation: either OK or a code+message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a T or an error Status. Accessing the value of an error result
+/// aborts (programming error), mirroring absl::StatusOr semantics.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    DQS_CHECK_MSG(!std::get<Status>(rep_).ok(),
+                  "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    DQS_CHECK_MSG(ok(), "value() on error Result: %s",
+                  std::get<Status>(rep_).ToString().c_str());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    DQS_CHECK_MSG(ok(), "value() on error Result: %s",
+                  std::get<Status>(rep_).ToString().c_str());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    DQS_CHECK_MSG(ok(), "value() on error Result: %s",
+                  std::get<Status>(rep_).ToString().c_str());
+    return std::move(std::get<T>(rep_));
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace dqsched
+
+#endif  // DQSCHED_COMMON_STATUS_H_

@@ -1,0 +1,47 @@
+// DPHJ: double-pipelined (symmetric) hash-join execution.
+//
+// The paper positions three levels of adaptation to unpredictable delivery
+// (Section 1.1); DSE works at the *scheduling* level, and contrasts with
+// the *operator* level: "[8] has adapted the double-pipelined hash join
+// [16], originally designed for parallel databases. However, such an
+// approach is restricted to hash-based queries". This module implements
+// that alternative as a fourth comparison strategy.
+//
+// Every join keeps hash tables over BOTH inputs; a tuple arriving on
+// either side is inserted into its own table, probes the opposite one,
+// and matches flow on immediately. No input ever blocks, so any arrival
+// order is processable — at the price of roughly twice the hash-table
+// memory (both sides stay resident until their streams end) and no
+// disk-backed escape hatch (XJoin's spilling is out of scope here, as it
+// was for the paper).
+//
+// Results are bit-identical to the other strategies: a match always emits
+// the probe-side tuple's attributes with CombineRowid(build, probe),
+// where build/probe refer to the original plan's asymmetric roles.
+
+#ifndef DQSCHED_CORE_DPHJ_H_
+#define DQSCHED_CORE_DPHJ_H_
+
+#include "common/status.h"
+#include "core/metrics.h"
+#include "exec/exec_context.h"
+#include "plan/compiled_plan.h"
+
+namespace dqsched::core {
+
+/// DPHJ tunables.
+struct DphjConfig {
+  /// Tuples consumed from one source before rotating to the next.
+  int64_t batch_size = 128;
+};
+
+/// Executes `compiled` with symmetric hash joins over the context's
+/// sources. Fails with kResourceExhausted if the two-sided tables do not
+/// fit the memory budget (DPHJ has no spill path).
+Result<ExecutionMetrics> RunDphj(const plan::CompiledPlan& compiled,
+                                 exec::ExecContext& ctx,
+                                 const DphjConfig& config);
+
+}  // namespace dqsched::core
+
+#endif  // DQSCHED_CORE_DPHJ_H_

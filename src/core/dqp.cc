@@ -1,0 +1,144 @@
+#include "core/dqp.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dqsched::core {
+
+Result<Event> Dqp::RunPhase(ExecutionState& state, const SchedulingPlan& sp,
+                            exec::ExecContext& ctx) {
+  ++execution_phases_;
+  SimDuration stalled_this_phase = 0;
+  int64_t batches_this_phase = 0;
+  const size_t n = sp.fragments.size();
+
+  for (;;) {
+    ctx.Pump();
+
+    // Abnormal interruption: delivery rates drifted from the planning
+    // snapshot; the scheduling plan may be stale.
+    if (ctx.comm.RateChangedSincePlan(ctx.clock.now())) {
+      state.trace().Record(ctx.clock.now(), TraceEventKind::kRateChange, -1,
+                           "delivery-rate estimates drifted");
+      return Event{EventKind::kRateChange, -1};
+    }
+
+    // Normal interruption: a fragment's input is exhausted and drained.
+    bool any_active = false;
+    for (int id : sp.fragments) {
+      if (!state.FragmentActive(id)) continue;
+      any_active = true;
+      exec::FragmentRuntime& frag = state.fragment(id);
+      if (frag.Finished(ctx) && frag.Available(ctx) == 0) {
+        return Event{EventKind::kEndOfQf, id};
+      }
+    }
+    if (!any_active) return Event{EventKind::kPlanExhausted, -1};
+
+    // Pick a fragment. Two disciplines alternate batch-by-batch:
+    //  * priority: highest-priority fragment with a full batch (or a
+    //    stream that will never grow) — the paper's rule;
+    //  * backpressure relief: a wrapper suspended on a full queue has its
+    //    relation's total retrieval time stretched for every moment it
+    //    stays suspended, so throttled streams (in priority order) get
+    //    every other turn when the CPU is oversubscribed.
+    // Fallback: any fragment with data. With round_robin (MA phase 1) the
+    // priority discipline rotates instead.
+    int chosen = -1;
+    const bool relief_turn = (batches_ & 1) != 0;
+    if (relief_turn) {
+      for (size_t k = 0; k < n && chosen < 0; ++k) {
+        const int id = sp.fragments[k];
+        if (!state.FragmentActive(id)) continue;
+        exec::FragmentRuntime& frag = state.fragment(id);
+        if (frag.Backpressured(ctx) && frag.Available(ctx) > 0) chosen = id;
+      }
+    }
+    for (size_t k = 0; k < n && chosen < 0; ++k) {
+      const size_t slot = config_.round_robin ? (rr_cursor_ + k) % n : k;
+      const int id = sp.fragments[slot];
+      if (!state.FragmentActive(id)) continue;
+      exec::FragmentRuntime& frag = state.fragment(id);
+      const int64_t avail = frag.Available(ctx);
+      if (avail <= 0) continue;
+      if (avail >= config_.batch_size ||
+          frag.NextArrival(ctx) == kSimTimeNever) {
+        chosen = id;
+        if (config_.round_robin) rr_cursor_ = static_cast<int>(slot + 1);
+      }
+    }
+    for (size_t k = 0; k < n && chosen < 0; ++k) {
+      const int id = sp.fragments[k];
+      if (!state.FragmentActive(id)) continue;
+      exec::FragmentRuntime& frag = state.fragment(id);
+      if (frag.Backpressured(ctx) && frag.Available(ctx) > 0) chosen = id;
+    }
+    for (size_t k = 0; k < n && chosen < 0; ++k) {
+      const int id = sp.fragments[k];
+      if (!state.FragmentActive(id)) continue;
+      exec::FragmentRuntime& frag = state.fragment(id);
+      if (frag.Available(ctx) > 0) chosen = id;
+    }
+
+    if (chosen >= 0) {
+      exec::FragmentRuntime& frag = state.fragment(chosen);
+      Result<int64_t> consumed = frag.ProcessBatch(ctx, config_.batch_size);
+      if (!consumed.ok()) {
+        if (consumed.status().code() == StatusCode::kResourceExhausted) {
+          // M-schedulability violated at open: hand to the DQO.
+          state.trace().Record(ctx.clock.now(),
+                               TraceEventKind::kMemoryOverflow, chosen,
+                               frag.name() + ": " +
+                                   consumed.status().message());
+          return Event{EventKind::kMemoryOverflow, chosen};
+        }
+        return consumed.status();
+      }
+      ++batches_;
+      stalled_this_phase = 0;  // the timeout measures *consecutive* starvation
+      state.trace().RecordBatch(ctx.clock.now(), chosen, consumed.value());
+      if (frag.Finished(ctx)) {
+        state.trace().Record(ctx.clock.now(), TraceEventKind::kEndOfQf,
+                             chosen, frag.name() + " finished");
+        return Event{EventKind::kEndOfQf, chosen};
+      }
+      if (config_.slice_batches > 0 &&
+          ++batches_this_phase >= config_.slice_batches) {
+        return Event{EventKind::kSliceEnd, -1};
+      }
+      continue;
+    }
+
+    // Everything starved. In multi-query mode, yield: another query may
+    // have work, and only the driver can see across queries.
+    if (config_.yield_on_starvation) return Event{EventKind::kStarved, -1};
+    // Stall until the earliest possible arrival of any scheduled fragment
+    // ("the DQP is stalled only if there is no available data for all the
+    // fragments that are scheduled").
+    SimTime next = kSimTimeNever;
+    for (int id : sp.fragments) {
+      if (!state.FragmentActive(id)) continue;
+      next = std::min(next, state.fragment(id).NextArrival(ctx));
+    }
+    if (next == kSimTimeNever) {
+      // No arrival will ever come, yet nothing was finished above: the
+      // plan cannot make progress — let the scheduler revise it.
+      return Event{EventKind::kPlanExhausted, -1};
+    }
+    DQS_CHECK_MSG(next > ctx.clock.now(),
+                  "stall target not in the future (deadlock?)");
+    const SimDuration wait = next - ctx.clock.now();
+    if (stalled_this_phase + wait > config_.stall_timeout) {
+      ctx.clock.StallUntil(ctx.clock.now() +
+                           (config_.stall_timeout - stalled_this_phase));
+      state.trace().Record(ctx.clock.now(), TraceEventKind::kTimeout, -1,
+                           "all scheduled fragments starved");
+      return Event{EventKind::kTimeout, -1};
+    }
+    stalled_this_phase += wait;
+    ctx.clock.StallUntil(next);
+  }
+}
+
+}  // namespace dqsched::core

@@ -1,0 +1,178 @@
+#include "core/dqs.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/macros.h"
+
+namespace dqsched::core {
+
+namespace {
+
+/// Number of chains transitively blocked by `chain` — the tie-breaker when
+/// critical degrees are close (unblocking more downstream work first).
+int TransitiveDependents(const plan::CompiledPlan& compiled, ChainId chain) {
+  int count = 0;
+  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+    if (c == chain) continue;
+    for (ChainId a : compiled.Ancestors(c)) {
+      if (a == chain) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double Dqs::ChainCritical(const ExecutionState& state,
+                          const exec::ExecContext& ctx, ChainId chain) {
+  const plan::ChainInfo& info = state.compiled().chain(chain);
+  const int64_t n = ctx.comm.RemainingTuples(info.source);
+  if (n <= 0) return 0.0;
+  const double w = ctx.comm.EstimatedWaitNs(info.source);
+  const double c = info.est_cpu_per_tuple_ns;
+  return static_cast<double>(n) * (w - c);
+}
+
+double Dqs::Bmi(const ExecutionState& state, const exec::ExecContext& ctx,
+                ChainId chain) {
+  const plan::ChainInfo& info = state.compiled().chain(chain);
+  const double w = ctx.comm.EstimatedWaitNs(info.source);
+  const double io = static_cast<double>(ctx.cost->TupleIoTime());
+  return w / (2.0 * io);
+}
+
+Result<SchedulingPlan> Dqs::ComputePlan(ExecutionState& state,
+                                        exec::ExecContext& ctx, Dqo& dqo) {
+  const auto host_start = std::chrono::steady_clock::now();
+  ++planning_phases_;
+  ctx.comm.MarkPlanned(ctx.clock.now());
+
+  const plan::CompiledPlan& compiled = state.compiled();
+
+  // Step 1: degraded chains whose ancestors finished resume as CF(p).
+  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+    if (!state.ChainDone(c) && state.Degraded(c) && !state.CfActivated(c) &&
+        state.CSchedulable(c)) {
+      state.ActivateCf(c, ctx);
+    }
+  }
+
+  // Step 2: degrade critical, blocked, not-yet-degraded chains when
+  // materialization is beneficial (bmi > bmt). Degradation is
+  // irreversible, so it waits for an *observed* delivery rate: until a
+  // source's estimator warms up, its w is just the compile-time prior (the
+  // CM signals a RateChange the moment initial observations land, so the
+  // decision is only deferred by a fraction of a millisecond).
+  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+    if (state.ChainDone(c) || state.Degraded(c) || state.CSchedulable(c)) {
+      continue;
+    }
+    if (!ctx.comm.EstimateWarm(compiled.chain(c).source)) continue;
+    if (ChainCritical(state, ctx, c) > 0.0 &&
+        Bmi(state, ctx, c) > config_.bmt) {
+      state.Degrade(c, ctx);
+    }
+  }
+
+  // Step 3: recursive priorities (the heuristic of the paper's companion
+  // report [6]: "recursively computes the QFs' priorities, beginning with
+  // the most critical PC"). A chain's *subtree criticality* is its own
+  // critical degree plus that of every chain it transitively blocks:
+  // starving a gating chain delays all of its dependents' scheduling, so
+  // its urgency accumulates theirs.
+  std::vector<double> critical(static_cast<size_t>(compiled.num_chains()));
+  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+    critical[static_cast<size_t>(c)] =
+        state.ChainDone(c) ? 0.0 : ChainCritical(state, ctx, c);
+  }
+  std::vector<double> subtree = critical;
+  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+    for (ChainId a : compiled.Ancestors(c)) {
+      subtree[static_cast<size_t>(a)] += critical[static_cast<size_t>(c)];
+    }
+  }
+
+  // Step 4: collect candidates — C-schedulable chain fragments and live
+  // materialization fragments.
+  struct Candidate {
+    int fragment;
+    double priority;
+    int dependents;
+  };
+  std::vector<Candidate> candidates;
+  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+    if (state.ChainDone(c) || !state.CSchedulable(c)) continue;
+    const int frag = state.ChainFragment(c);
+    if (!state.FragmentActive(frag)) continue;
+
+    // M-schedulability of the chain in isolation (Section 4.2): exact
+    // operand sizes are known here because ancestors finished.
+    exec::FragmentRuntime& rt = state.fragment(frag);
+    if (!rt.opened() && rt.BytesToOpen(ctx) > ctx.memory.budget()) {
+      DQS_RETURN_IF_ERROR(dqo.HandleMemoryOverflow(state, ctx, c));
+      // The slot now holds the first split stage.
+    }
+    candidates.push_back({state.ChainFragment(c),
+                          subtree[static_cast<size_t>(c)],
+                          TransitiveDependents(compiled, c)});
+  }
+  for (int f = compiled.num_chains(); f < state.num_fragments(); ++f) {
+    if (!state.FragmentActive(f)) continue;
+    const ChainId origin = state.FragmentChain(f);
+    const double crit =
+        origin == kInvalidId ? 0.0 : subtree[static_cast<size_t>(origin)];
+    const int deps =
+        origin == kInvalidId ? 0 : TransitiveDependents(compiled, origin);
+    candidates.push_back({f, crit, deps});
+  }
+
+  // Step 5: priority order — subtree criticality, then unblocking power.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.priority != b.priority) {
+                       return a.priority > b.priority;
+                     }
+                     return a.dependents > b.dependents;
+                   });
+
+  // Step 5: greedy memory admission. Fragments already holding grants are
+  // free; unopened ones reserve their open cost against what is left.
+  SchedulingPlan sp;
+  int64_t remaining = ctx.memory.available();
+  for (const Candidate& cand : candidates) {
+    exec::FragmentRuntime& rt = state.fragment(cand.fragment);
+    const int64_t need = rt.opened() ? 0 : rt.BytesToOpen(ctx);
+    if (need <= remaining) {
+      remaining -= need;
+      sp.fragments.push_back(cand.fragment);
+      sp.critical_ns.push_back(cand.priority);
+    }
+  }
+  // Progress guarantee: never return an empty plan while work exists. The
+  // top candidate runs alone; if its Open still fails, the DQP raises
+  // MemoryOverflow and the DQO revises the plan.
+  if (sp.fragments.empty() && !candidates.empty()) {
+    sp.fragments.push_back(candidates.front().fragment);
+    sp.critical_ns.push_back(candidates.front().priority);
+  }
+
+  planning_host_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
+
+  if (sp.fragments.empty() && !state.QueryDone()) {
+    return Status::Internal(
+        "scheduler produced an empty plan with the query unfinished");
+  }
+  state.trace().Record(ctx.clock.now(), TraceEventKind::kPlanningPhase, -1,
+                       std::to_string(sp.fragments.size()) +
+                           " fragments scheduled");
+  return sp;
+}
+
+}  // namespace dqsched::core

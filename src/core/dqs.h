@@ -1,0 +1,82 @@
+// The Dynamic Query Scheduler (paper Sections 3.3 and 4).
+//
+// At each planning phase the DQS:
+//   1. snapshots delivery-rate estimates (future RateChange baseline),
+//   2. activates complement fragments of degraded chains that became
+//      C-schedulable,
+//   3. collects schedulable fragments (C-schedulable chains + running MFs),
+//   4. degrades critical non-C-schedulable chains whose benefit
+//      materialization indicator exceeds the threshold bmt (Section 4.4),
+//   5. orders fragments by descending critical degree (Section 4.3),
+//   6. admits fragments greedily under the memory budget (M-schedulability
+//      and scheduling-plan admission, Sections 4.1-4.2), invoking the DQO
+//      to split a chain that cannot fit even alone.
+//
+// The result is the *scheduling plan*: a totally ordered set of query
+// fragments the DQP executes concurrently.
+
+#ifndef DQSCHED_CORE_DQS_H_
+#define DQSCHED_CORE_DQS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/dqo.h"
+#include "core/execution_state.h"
+#include "exec/exec_context.h"
+
+namespace dqsched::core {
+
+/// Scheduler tunables.
+struct DqsConfig {
+  /// Benefit materialization threshold: a chain degrades only when
+  /// bmi = w_p / (2*IO_p) exceeds this (paper fixes it to 1 for
+  /// single-query experiments).
+  double bmt = 1.0;
+};
+
+/// The totally ordered fragment set of one execution phase.
+struct SchedulingPlan {
+  /// Fragment ids, highest priority first.
+  std::vector<int> fragments;
+  /// Critical degree of each fragment at planning time (parallel array,
+  /// nanoseconds of projected idle time; diagnostics).
+  std::vector<double> critical_ns;
+
+  bool empty() const { return fragments.empty(); }
+};
+
+/// The scheduler. Stateless between phases apart from counters.
+class Dqs {
+ public:
+  explicit Dqs(const DqsConfig& config) : config_(config) {}
+
+  /// Produces the next scheduling plan, mutating `state` (degradations, CF
+  /// activations, DQO-mediated splits). An empty plan with the query
+  /// unfinished is an internal error.
+  Result<SchedulingPlan> ComputePlan(ExecutionState& state,
+                                     exec::ExecContext& ctx, Dqo& dqo);
+
+  /// Critical degree of chain p: n_p * (w_p - c_p) in nanoseconds (paper
+  /// Section 4.3) with n_p the tuples still to arrive, w_p the estimated
+  /// mean waiting time, c_p the estimated per-tuple processing time.
+  static double ChainCritical(const ExecutionState& state,
+                              const exec::ExecContext& ctx, ChainId chain);
+
+  /// Benefit materialization indicator of chain p: w_p / (2 * IO_p)
+  /// (paper Section 4.4).
+  static double Bmi(const ExecutionState& state, const exec::ExecContext& ctx,
+                    ChainId chain);
+
+  int64_t planning_phases() const { return planning_phases_; }
+  double planning_host_seconds() const { return planning_host_seconds_; }
+
+ private:
+  DqsConfig config_;
+  int64_t planning_phases_ = 0;
+  double planning_host_seconds_ = 0.0;
+};
+
+}  // namespace dqsched::core
+
+#endif  // DQSCHED_CORE_DQS_H_

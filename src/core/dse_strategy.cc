@@ -1,0 +1,52 @@
+// DSE: Dynamic Scheduling Execution — the paper's contribution. The
+// general loop of Section 3.1: planning phases (DQS) interleaved with
+// execution phases (DQP), with the DQO revising the plan on memory
+// overflow and recording timeout escalations.
+
+#include "core/strategy_internal.h"
+
+#include "common/macros.h"
+
+namespace dqsched::core::internal {
+
+Result<ExecutionMetrics> RunDseImpl(ExecutionState& state,
+                                    exec::ExecContext& ctx,
+                                    const StrategyConfig& config) {
+  Dqs dqs(config.dqs);
+  Dqp dqp(config.dqp);
+  Dqo dqo;
+  StrategyCounters counters;
+
+  int64_t guard = 0;
+  while (!state.QueryDone()) {
+    DQS_CHECK_MSG(++guard < (1LL << 40), "DSE livelock");
+    Result<SchedulingPlan> sp = dqs.ComputePlan(state, ctx, dqo);
+    if (!sp.ok()) return sp.status();
+    Result<Event> evt = dqp.RunPhase(state, *sp, ctx);
+    if (!evt.ok()) return evt.status();
+    switch (evt->kind) {
+      case EventKind::kEndOfQf:
+        state.OnFragmentFinished(evt->fragment, ctx);
+        break;
+      case EventKind::kRateChange:
+        ++counters.rate_changes;
+        break;  // replan with fresh estimates
+      case EventKind::kTimeout:
+        ++counters.timeouts;
+        dqo.OnTimeout();  // phase-2 re-optimization hook
+        break;
+      case EventKind::kMemoryOverflow:
+        DQS_RETURN_IF_ERROR(dqo.HandleMemoryOverflow(
+            state, ctx, state.FragmentChain(evt->fragment)));
+        break;
+      case EventKind::kPlanExhausted:
+        break;  // replan
+      case EventKind::kSliceEnd:
+      case EventKind::kStarved:
+        return Status::Internal("multi-query event in single-query DSE");
+    }
+  }
+  return CollectMetrics(ctx, state, &dqs, dqp, dqo, counters);
+}
+
+}  // namespace dqsched::core::internal

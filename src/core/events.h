@@ -1,0 +1,47 @@
+// Interruption events returned by the dynamic query processor to the
+// scheduler/optimizer (paper Section 3.2): "Normal interruptions,
+// signaling the end of a QF ... and abnormal interruptions, signaling any
+// significant change in the system".
+
+#ifndef DQSCHED_CORE_EVENTS_H_
+#define DQSCHED_CORE_EVENTS_H_
+
+namespace dqsched::core {
+
+enum class EventKind {
+  /// A query fragment consumed all of its input (normal; handled by DQS).
+  kEndOfQf,
+  /// A wrapper's delivery-rate estimate deviated significantly from the
+  /// last planning snapshot (abnormal; triggers replanning).
+  kRateChange,
+  /// Every scheduled fragment starved for longer than the stall timeout
+  /// (abnormal; would hand control to phase-2 re-optimization [15] in a
+  /// full DQO — recorded and replanned here).
+  kTimeout,
+  /// A fragment failed to open within the memory budget; the DQO must
+  /// revise the plan (paper Section 4.2).
+  kMemoryOverflow,
+  /// Every fragment of the current scheduling plan is closed or stale;
+  /// the DQS must produce a new plan.
+  kPlanExhausted,
+  /// The phase's batch slice is used up (multi-query time slicing; only
+  /// raised when DqpConfig::slice_batches > 0).
+  kSliceEnd,
+  /// Nothing is available right now and the processor was told to yield
+  /// instead of stalling (multi-query mode; only raised when
+  /// DqpConfig::yield_on_starvation is set). The caller decides whether
+  /// other work exists or the global clock must advance.
+  kStarved,
+};
+
+const char* EventKindName(EventKind kind);
+
+/// One interruption: what happened and to which fragment (when relevant).
+struct Event {
+  EventKind kind = EventKind::kPlanExhausted;
+  int fragment = -1;
+};
+
+}  // namespace dqsched::core
+
+#endif  // DQSCHED_CORE_EVENTS_H_

@@ -1,0 +1,25 @@
+#include "core/events.h"
+
+namespace dqsched::core {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kEndOfQf:
+      return "EndOfQF";
+    case EventKind::kRateChange:
+      return "RateChange";
+    case EventKind::kTimeout:
+      return "TimeOut";
+    case EventKind::kMemoryOverflow:
+      return "MemoryOverflow";
+    case EventKind::kPlanExhausted:
+      return "PlanExhausted";
+    case EventKind::kSliceEnd:
+      return "SliceEnd";
+    case EventKind::kStarved:
+      return "Starved";
+  }
+  return "Unknown";
+}
+
+}  // namespace dqsched::core

@@ -1,0 +1,45 @@
+// Analytic lower bound LWB on the response time (paper Section 5.1.2):
+//
+//   LWB(Q) = max( sum_p n_p * c_p ,  max_p n_p * w_p )
+//
+// i.e. no strategy can respond faster than the total mediator CPU work,
+// nor faster than the slowest single source can deliver its relation. The
+// CPU term uses exact cardinalities from the reference executor; the
+// retrieval term uses the delay models' analytic expectations.
+
+#ifndef DQSCHED_CORE_LWB_H_
+#define DQSCHED_CORE_LWB_H_
+
+#include "common/sim_time.h"
+#include "plan/compiled_plan.h"
+#include "plan/reference_executor.h"
+#include "sim/cost_model.h"
+#include "wrapper/catalog.h"
+
+namespace dqsched::core {
+
+/// Both terms of the bound, for diagnostics.
+struct LwbBreakdown {
+  SimDuration cpu_total = 0;
+  SimDuration max_retrieval = 0;
+  SimDuration bound() const {
+    return cpu_total > max_retrieval ? cpu_total : max_retrieval;
+  }
+};
+
+/// Computes the bound for `compiled` over the concrete data summarized by
+/// `exact`. `realized_retrieval_ns` (indexed by source id) supplies each
+/// wrapper's *realized* total delivery time — the sum of its actual delay
+/// draws for this seed; when empty, the delay models' analytic
+/// expectations are used instead (a looser, seed-independent bound: a
+/// realization can undershoot its expectation).
+LwbBreakdown ComputeLwb(const plan::CompiledPlan& compiled,
+                        const plan::ReferenceResult& exact,
+                        const wrapper::Catalog& catalog,
+                        const sim::CostModel& cost,
+                        const std::vector<double>& realized_retrieval_ns =
+                            {});
+
+}  // namespace dqsched::core
+
+#endif  // DQSCHED_CORE_LWB_H_

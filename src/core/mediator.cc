@@ -1,0 +1,164 @@
+#include "core/mediator.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/macros.h"
+#include "core/dphj.h"
+#include "core/scrambling.h"
+#include "core/execution_state.h"
+#include "exec/exec_context.h"
+#include "wrapper/wrapper.h"
+
+namespace dqsched::core {
+
+namespace {
+
+/// Stable per-source seed derivation: data and delay draws must be
+/// identical across strategies and across hosts.
+uint64_t SourceSeed(uint64_t base, SourceId source, uint64_t salt) {
+  return storage::Mix64(base ^ (static_cast<uint64_t>(source) + 1) * salt);
+}
+
+constexpr uint64_t kDataSalt = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kDelaySalt = 0xc2b2ae3d27d4eb4fULL;
+
+}  // namespace
+
+Result<Mediator> Mediator::Create(wrapper::Catalog catalog, plan::Plan plan,
+                                  MediatorConfig config) {
+  DQS_RETURN_IF_ERROR(config.cost.Validate());
+  DQS_RETURN_IF_ERROR(catalog.Validate());
+  if (config.memory_budget_bytes <= 0) {
+    return Status::InvalidArgument("memory budget must be > 0");
+  }
+  if (config.strategy.dqp.batch_size <= 0) {
+    return Status::InvalidArgument("batch size must be > 0");
+  }
+
+  Result<plan::CompiledPlan> compiled = plan::Compile(plan, catalog);
+  if (!compiled.ok()) return compiled.status();
+  DQS_RETURN_IF_ERROR(plan::Annotate(&compiled.value(), catalog, config.cost));
+
+  std::vector<storage::Relation> data;
+  data.reserve(static_cast<size_t>(catalog.num_sources()));
+  for (SourceId s = 0; s < catalog.num_sources(); ++s) {
+    data.push_back(storage::GenerateRelation(
+        catalog.source(s).relation, s,
+        Rng(SourceSeed(config.seed, s, kDataSalt))));
+  }
+
+  plan::ReferenceResult reference =
+      plan::ExecuteReference(compiled.value(), data);
+
+  // Replay each wrapper's delay draws: the realized retrieval totals make
+  // the lower bound tight for this exact workload instance.
+  std::vector<double> realized;
+  realized.reserve(static_cast<size_t>(catalog.num_sources()));
+  for (SourceId s = 0; s < catalog.num_sources(); ++s) {
+    Rng rng(SourceSeed(config.seed, s, kDelaySalt));
+    auto model = wrapper::MakeDelayModel(catalog.source(s).delay);
+    double total = 0.0;
+    const int64_t n = catalog.source(s).relation.cardinality;
+    for (int64_t i = 0; i < n; ++i) {
+      total += static_cast<double>(model->NextDelay(i, rng));
+    }
+    realized.push_back(total);
+  }
+
+  return Mediator(std::move(catalog), std::move(config),
+                  std::move(compiled.value()), std::move(data),
+                  std::move(reference), std::move(realized));
+}
+
+void Mediator::SetupContext(exec::ExecContext& ctx) const {
+  for (SourceId s = 0; s < catalog_.num_sources(); ++s) {
+    auto w = std::make_unique<wrapper::SimWrapper>(
+        s, &data_[static_cast<size_t>(s)], catalog_.source(s).delay,
+        SourceSeed(config_.seed, s, kDelaySalt));
+    // The pre-observation prior a static optimizer would assume: delivery
+    // at full speed (the paper's w_min).
+    ctx.comm.AddSource(std::move(w),
+                       static_cast<double>(config_.cost.MinWaitingTime()));
+  }
+}
+
+Status Mediator::VerifyAgainstReference(const ExecutionMetrics& metrics,
+                                        const char* label) const {
+  if (!config_.verify_results) return Status::Ok();
+  if (metrics.result_count != reference_.result_card ||
+      metrics.result_checksum != reference_.checksum.value()) {
+    return Status::Internal(std::string("result mismatch under ") + label +
+                            ": got " + std::to_string(metrics.result_count) +
+                            " tuples, expected " +
+                            std::to_string(reference_.result_card));
+  }
+  return Status::Ok();
+}
+
+Result<Mediator::TracedExecution> Mediator::ExecuteWithOptions(
+    StrategyKind kind, bool trace) const {
+  exec::ExecContext ctx(&config_.cost, config_.comm,
+                        config_.memory_budget_bytes);
+  SetupContext(ctx);
+
+  ExecutionOptions options = OptionsFor(kind);
+  options.trace = trace;
+  ExecutionState state(&compiled_, &ctx, options);
+  Result<ExecutionMetrics> metrics =
+      RunStrategy(kind, state, ctx, config_.strategy);
+  if (!metrics.ok()) return metrics.status();
+  DQS_RETURN_IF_ERROR(VerifyAgainstReference(*metrics, StrategyName(kind)));
+  TracedExecution out;
+  out.metrics = std::move(metrics.value());
+  out.trace = std::move(state.trace());
+  out.fragment_names = state.FragmentNames();
+  return out;
+}
+
+Result<ExecutionMetrics> Mediator::Execute(StrategyKind kind) const {
+  Result<TracedExecution> run = ExecuteWithOptions(kind, /*trace=*/false);
+  if (!run.ok()) return run.status();
+  return std::move(run->metrics);
+}
+
+Result<Mediator::TracedExecution> Mediator::ExecuteTraced(
+    StrategyKind kind) const {
+  return ExecuteWithOptions(kind, /*trace=*/true);
+}
+
+Result<ExecutionMetrics> Mediator::ExecuteScrambling(
+    SimDuration timeout) const {
+  exec::ExecContext ctx(&config_.cost, config_.comm,
+                        config_.memory_budget_bytes);
+  SetupContext(ctx);
+  // Scrambling shares DSE's asynchronous-I/O fragments (it also
+  // materializes to overlap), but not its rate-driven planning.
+  ExecutionState state(&compiled_, &ctx, OptionsFor(StrategyKind::kDse));
+  ScramblingConfig scr;
+  scr.timeout = timeout;
+  scr.batch_size = config_.strategy.dqp.batch_size;
+  Result<ExecutionMetrics> metrics = RunScrambling(state, ctx, scr);
+  if (!metrics.ok()) return metrics;
+  DQS_RETURN_IF_ERROR(VerifyAgainstReference(*metrics, "SCR"));
+  return metrics;
+}
+
+Result<ExecutionMetrics> Mediator::ExecuteDphj() const {
+  exec::ExecContext ctx(&config_.cost, config_.comm,
+                        config_.memory_budget_bytes);
+  SetupContext(ctx);
+  DphjConfig dphj;
+  dphj.batch_size = config_.strategy.dqp.batch_size;
+  Result<ExecutionMetrics> metrics = RunDphj(compiled_, ctx, dphj);
+  if (!metrics.ok()) return metrics;
+  DQS_RETURN_IF_ERROR(VerifyAgainstReference(*metrics, "DPHJ"));
+  return metrics;
+}
+
+LwbBreakdown Mediator::LowerBound() const {
+  return ComputeLwb(compiled_, reference_, catalog_, config_.cost,
+                    realized_retrieval_ns_);
+}
+
+}  // namespace dqsched::core

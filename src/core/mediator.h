@@ -1,0 +1,120 @@
+// The public entry point of dqsched: the mediator of the paper's
+// data-integration architecture (Section 2.1). Construct one from a
+// catalog + plan + configuration, then Execute() any strategy; repeated
+// executions reuse identical generated data and identical per-tuple delay
+// draws, so strategies are compared on exactly the same workload.
+
+#ifndef DQSCHED_CORE_MEDIATOR_H_
+#define DQSCHED_CORE_MEDIATOR_H_
+
+#include <vector>
+
+#include "comm/comm_manager.h"
+#include "common/status.h"
+#include "core/lwb.h"
+#include "core/trace.h"
+#include "core/metrics.h"
+#include "core/strategy.h"
+#include "plan/compiled_plan.h"
+#include "plan/plan_node.h"
+#include "plan/reference_executor.h"
+#include "sim/cost_model.h"
+#include "storage/relation.h"
+#include "wrapper/catalog.h"
+
+namespace dqsched::core {
+
+/// Everything configurable about one mediator.
+struct MediatorConfig {
+  /// Simulation cost parameters (paper Table 1 defaults).
+  sim::CostModel cost;
+  /// Total memory available for the query execution, bytes.
+  int64_t memory_budget_bytes = 256LL * 1024 * 1024;
+  /// Communication layer (queue capacity, rate-change detection).
+  comm::CommConfig comm;
+  /// Scheduler (bmt) and processor (batch size, stall timeout) tunables.
+  StrategyConfig strategy;
+  /// Seed for data generation and delay draws; one seed = one workload.
+  uint64_t seed = 42;
+  /// Verify every execution's result against the reference executor.
+  bool verify_results = true;
+};
+
+/// An integration query ready to execute.
+class Mediator {
+ public:
+  /// Validates everything, compiles + annotates the plan, generates the
+  /// data, and computes the exact reference answer.
+  static Result<Mediator> Create(wrapper::Catalog catalog, plan::Plan plan,
+                                 MediatorConfig config);
+
+  Mediator(Mediator&&) = default;
+  Mediator& operator=(Mediator&&) = default;
+
+  /// Executes the query under `kind` on a fresh context. Deterministic:
+  /// the same mediator + strategy always yields the same metrics.
+  Result<ExecutionMetrics> Execute(StrategyKind kind) const;
+
+  /// Like Execute, but records and returns the execution trace (paper
+  /// Section 5.3's diagnostic tool): scheduler decisions, interruption
+  /// events, per-fragment batch activity, plus fragment display names for
+  /// rendering.
+  struct TracedExecution {
+    ExecutionMetrics metrics;
+    ExecutionTrace trace;
+    std::vector<std::string> fragment_names;
+  };
+  Result<TracedExecution> ExecuteTraced(StrategyKind kind) const;
+
+  /// Executes with query scrambling, phase 1 (core/scrambling.h) — the
+  /// paper's main prior art, for measurable comparison. `timeout` is the
+  /// scrambling trigger the paper calls hard to tune.
+  Result<ExecutionMetrics> ExecuteScrambling(
+      SimDuration timeout = Milliseconds(100)) const;
+
+  /// Executes with double-pipelined (symmetric) hash joins — the
+  /// operator-level adaptation of paper Section 1.1 (core/dphj.h) — for
+  /// comparison against the scheduling-level DSE. Verified against the
+  /// reference like every other strategy.
+  Result<ExecutionMetrics> ExecuteDphj() const;
+
+  /// The analytic lower bound LWB (paper Section 5.1.2).
+  LwbBreakdown LowerBound() const;
+
+  const wrapper::Catalog& catalog() const { return catalog_; }
+  const plan::CompiledPlan& compiled() const { return compiled_; }
+  const plan::ReferenceResult& reference() const { return reference_; }
+  const std::vector<storage::Relation>& data() const { return data_; }
+  const MediatorConfig& config() const { return config_; }
+
+ private:
+  Result<TracedExecution> ExecuteWithOptions(StrategyKind kind,
+                                             bool trace) const;
+  void SetupContext(exec::ExecContext& ctx) const;
+  Status VerifyAgainstReference(const ExecutionMetrics& metrics,
+                                const char* label) const;
+
+  Mediator(wrapper::Catalog catalog, MediatorConfig config,
+           plan::CompiledPlan compiled, std::vector<storage::Relation> data,
+           plan::ReferenceResult reference,
+           std::vector<double> realized_retrieval_ns)
+      : catalog_(std::move(catalog)),
+        config_(std::move(config)),
+        compiled_(std::move(compiled)),
+        data_(std::move(data)),
+        reference_(std::move(reference)),
+        realized_retrieval_ns_(std::move(realized_retrieval_ns)) {}
+
+  wrapper::Catalog catalog_;
+  MediatorConfig config_;
+  plan::CompiledPlan compiled_;
+  std::vector<storage::Relation> data_;
+  plan::ReferenceResult reference_;
+  /// Per-source realized total delivery time (sum of this seed's actual
+  /// delay draws), nanoseconds — makes the LWB tight per workload.
+  std::vector<double> realized_retrieval_ns_;
+};
+
+}  // namespace dqsched::core
+
+#endif  // DQSCHED_CORE_MEDIATOR_H_

@@ -1,0 +1,37 @@
+#include "core/metrics.h"
+
+#include <cstdio>
+
+namespace dqsched::core {
+
+std::string ExecutionMetrics::ToString() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "response %s (busy %s, stalled %s)\n"
+      "result: %lld tuples, checksum %016llx\n"
+      "planning: %lld phases (%.3f ms host), execution: %lld phases\n"
+      "dynamics: %lld degradations, %lld CF activations, %lld DQO splits, "
+      "%lld timeouts, %lld rate changes\n"
+      "memory peak: %.1f MB | disk: %lld pages written, %lld read, "
+      "%lld positionings | net: %lld msgs",
+      FormatDuration(response_time).c_str(),
+      FormatDuration(busy_time).c_str(),
+      FormatDuration(stalled_time).c_str(),
+      static_cast<long long>(result_count),
+      static_cast<unsigned long long>(result_checksum),
+      static_cast<long long>(planning_phases), planning_host_seconds * 1e3,
+      static_cast<long long>(execution_phases),
+      static_cast<long long>(degradations),
+      static_cast<long long>(cf_activations),
+      static_cast<long long>(dqo_splits), static_cast<long long>(timeouts),
+      static_cast<long long>(rate_change_events),
+      static_cast<double>(peak_memory_bytes) / (1024.0 * 1024.0),
+      static_cast<long long>(disk.pages_written),
+      static_cast<long long>(disk.pages_read),
+      static_cast<long long>(disk.positionings),
+      static_cast<long long>(network.messages_received));
+  return buf;
+}
+
+}  // namespace dqsched::core

@@ -1,0 +1,54 @@
+// Execution metrics reported by the mediator for one strategy run.
+
+#ifndef DQSCHED_CORE_METRICS_H_
+#define DQSCHED_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_time.h"
+#include "sim/disk.h"
+#include "sim/network.h"
+#include "storage/temp_store.h"
+
+namespace dqsched::core {
+
+/// Everything measured during one execution. Response time is virtual
+/// (simulated) time from query start to the last result tuple.
+struct ExecutionMetrics {
+  SimDuration response_time = 0;
+  /// Virtual time the engine did useful work (CPU + synchronous I/O).
+  SimDuration busy_time = 0;
+  /// Virtual time the engine starved waiting for data.
+  SimDuration stalled_time = 0;
+
+  int64_t result_count = 0;
+  uint64_t result_checksum = 0;
+
+  // Dynamic-engine activity.
+  int64_t planning_phases = 0;
+  int64_t execution_phases = 0;
+  int64_t degradations = 0;     // MF(p) creations (paper Section 4.4)
+  int64_t cf_activations = 0;   // degraded chains resumed as CF(p)
+  int64_t dqo_splits = 0;       // memory-overflow plan revisions (4.2)
+  int64_t operand_spills = 0;   // DQO operand evictions under pressure
+  int64_t timeouts = 0;
+  int64_t rate_change_events = 0;
+
+  int64_t peak_memory_bytes = 0;
+
+  sim::DiskStats disk;
+  sim::NetworkStats network;
+  storage::TempStoreStats temps;
+
+  /// Host (wall-clock) seconds spent inside the DQS planning — the
+  /// scheduling overhead the paper argues must be small (Section 3.3).
+  double planning_host_seconds = 0.0;
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+};
+
+}  // namespace dqsched::core
+
+#endif  // DQSCHED_CORE_METRICS_H_

@@ -1,0 +1,311 @@
+#include "core/multi_query.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/macros.h"
+#include "core/dqo.h"
+#include "core/dqp.h"
+#include "core/dqs.h"
+#include "core/execution_state.h"
+#include "exec/exec_context.h"
+#include "wrapper/wrapper.h"
+
+namespace dqsched::core {
+
+namespace {
+
+uint64_t MixSeed(uint64_t base, uint64_t a, uint64_t b) {
+  return storage::Mix64(base ^ (a + 1) * 0x9e3779b97f4a7c15ULL ^
+                        (b + 1) * 0xc2b2ae3d27d4eb4fULL);
+}
+
+}  // namespace
+
+const char* MultiModeName(MultiMode mode) {
+  switch (mode) {
+    case MultiMode::kSerial:
+      return "serial";
+    case MultiMode::kShared:
+      return "shared";
+  }
+  return "unknown";
+}
+
+Result<MultiQueryMediator> MultiQueryMediator::Create(
+    std::vector<plan::QuerySetup> setups, MultiQueryConfig config) {
+  DQS_RETURN_IF_ERROR(config.cost.Validate());
+  if (setups.empty()) {
+    return Status::InvalidArgument("no queries in the mix");
+  }
+  if (config.memory_budget_bytes <= 0 || config.slice_batches <= 0) {
+    return Status::InvalidArgument("budget and slice must be > 0");
+  }
+
+  std::vector<PreparedQuery> prepared;
+  SourceId offset = 0;
+  for (size_t qi = 0; qi < setups.size(); ++qi) {
+    plan::QuerySetup& setup = setups[qi];
+    PreparedQuery q;
+    Result<plan::CompiledPlan> compiled =
+        plan::Compile(setup.plan, setup.catalog);
+    if (!compiled.ok()) return compiled.status();
+    q.compiled = std::move(compiled.value());
+    DQS_RETURN_IF_ERROR(
+        plan::Annotate(&q.compiled, setup.catalog, config.cost));
+
+    q.data.reserve(static_cast<size_t>(setup.catalog.num_sources()));
+    for (SourceId s = 0; s < setup.catalog.num_sources(); ++s) {
+      q.data.push_back(storage::GenerateRelation(
+          setup.catalog.source(s).relation, offset + s,
+          Rng(MixSeed(config.seed, qi, static_cast<uint64_t>(s)))));
+    }
+    q.reference = plan::ExecuteReference(q.compiled, q.data);
+
+    // Remap chain sources into the shared mediator's global id space.
+    q.source_offset = offset;
+    for (plan::ChainInfo& chain : q.compiled.chains) {
+      chain.source += offset;
+    }
+    offset += setup.catalog.num_sources();
+    q.catalog = std::move(setup.catalog);
+    prepared.push_back(std::move(q));
+  }
+  return MultiQueryMediator(std::move(prepared), std::move(config));
+}
+
+Result<MultiQueryMetrics> MultiQueryMediator::Execute(StrategyKind strategy,
+                                                      MultiMode mode) const {
+  if (strategy == StrategyKind::kMa) {
+    return Status::InvalidArgument(
+        "multi-query execution supports SEQ and DSE per-query strategies");
+  }
+  return mode == MultiMode::kShared ? ExecuteShared(strategy)
+                                    : ExecuteSerial(strategy);
+}
+
+Result<MultiQueryMetrics> MultiQueryMediator::ExecuteSerial(
+    StrategyKind strategy) const {
+  MultiQueryMetrics out;
+  SimDuration offset = 0;
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    const PreparedQuery& q = queries_[qi];
+    exec::ExecContext ctx(&config_.cost, config_.comm,
+                          config_.memory_budget_bytes);
+    // Every wrapper registers (global ids must resolve), but only this
+    // query's are consumed; the window protocol holds the others.
+    for (size_t qj = 0; qj < queries_.size(); ++qj) {
+      const PreparedQuery& other = queries_[qj];
+      for (SourceId s = 0; s < other.catalog.num_sources(); ++s) {
+        ctx.comm.AddSource(
+            std::make_unique<wrapper::SimWrapper>(
+                other.source_offset + s,
+                &other.data[static_cast<size_t>(s)],
+                other.catalog.source(s).delay,
+                MixSeed(config_.seed, qj, static_cast<uint64_t>(s) + 977)),
+            static_cast<double>(config_.cost.MinWaitingTime()));
+      }
+    }
+    ExecutionState state(&q.compiled, &ctx, OptionsFor(strategy));
+    Result<ExecutionMetrics> metrics =
+        RunStrategy(strategy, state, ctx, config_.strategy);
+    if (!metrics.ok()) return metrics.status();
+    if (config_.verify_results &&
+        (metrics->result_count != q.reference.result_card ||
+         metrics->result_checksum != q.reference.checksum.value())) {
+      return Status::Internal("serial multi-query result mismatch in query " +
+                              std::to_string(qi));
+    }
+    offset += metrics->response_time;
+    out.response_times.push_back(offset);
+    out.total_degradations += metrics->degradations;
+    out.total_result_tuples += metrics->result_count;
+    out.peak_memory_bytes =
+        std::max(out.peak_memory_bytes, metrics->peak_memory_bytes);
+    out.disk.pages_read += metrics->disk.pages_read;
+    out.disk.pages_written += metrics->disk.pages_written;
+    out.disk.positionings += metrics->disk.positionings;
+    out.disk.io_calls += metrics->disk.io_calls;
+    out.disk.busy += metrics->disk.busy;
+  }
+  out.makespan = offset;
+  SimDuration sum = 0;
+  for (SimDuration r : out.response_times) sum += r;
+  out.mean_response = sum / static_cast<SimDuration>(queries_.size());
+  return out;
+}
+
+Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
+    StrategyKind strategy) const {
+  const int nq = num_queries();
+  exec::ExecContext ctx(&config_.cost, config_.comm,
+                        config_.memory_budget_bytes);
+  for (size_t qj = 0; qj < queries_.size(); ++qj) {
+    const PreparedQuery& other = queries_[qj];
+    for (SourceId s = 0; s < other.catalog.num_sources(); ++s) {
+      ctx.comm.AddSource(
+          std::make_unique<wrapper::SimWrapper>(
+              other.source_offset + s, &other.data[static_cast<size_t>(s)],
+              other.catalog.source(s).delay,
+              MixSeed(config_.seed, qj, static_cast<uint64_t>(s) + 977)),
+          static_cast<double>(config_.cost.MinWaitingTime()));
+    }
+  }
+
+  // Per-query machinery.
+  struct QueryRun {
+    std::unique_ptr<exec::ResultCollector> result;
+    std::unique_ptr<ExecutionState> state;
+    std::unique_ptr<Dqs> dqs;
+    std::unique_ptr<Dqp> dqp;
+    std::unique_ptr<Dqo> dqo;
+    SchedulingPlan sp;
+    bool need_replan = true;
+    bool done = false;
+    SimTime done_at = 0;
+    // kSeq: iterator-model chain order and position.
+    std::vector<ChainId> seq_order;
+    size_t seq_cursor = 0;
+  };
+  std::vector<QueryRun> runs(static_cast<size_t>(nq));
+  for (int qi = 0; qi < nq; ++qi) {
+    QueryRun& run = runs[static_cast<size_t>(qi)];
+    run.result = std::make_unique<exec::ResultCollector>();
+    ExecutionOptions options = OptionsFor(strategy);
+    options.result_override = run.result.get();
+    run.state = std::make_unique<ExecutionState>(
+        &queries_[static_cast<size_t>(qi)].compiled, &ctx, options);
+    run.dqs = std::make_unique<Dqs>(config_.strategy.dqs);
+    DqpConfig dqp_config = config_.strategy.dqp;
+    dqp_config.slice_batches = config_.slice_batches;
+    dqp_config.yield_on_starvation = true;
+    run.dqp = std::make_unique<Dqp>(dqp_config);
+    run.dqo = std::make_unique<Dqo>();
+    if (strategy == StrategyKind::kSeq) {
+      run.seq_order = queries_[static_cast<size_t>(qi)]
+                          .compiled.IteratorModelOrder();
+    }
+  }
+
+  auto build_sp = [&](QueryRun& run) -> Status {
+    if (strategy == StrategyKind::kDse) {
+      Result<SchedulingPlan> sp =
+          run.dqs->ComputePlan(*run.state, ctx, *run.dqo);
+      if (!sp.ok()) return sp.status();
+      run.sp = std::move(sp.value());
+      return Status::Ok();
+    }
+    // kSeq: the current chain of the iterator order, alone.
+    while (run.seq_cursor < run.seq_order.size() &&
+           run.state->ChainDone(run.seq_order[run.seq_cursor])) {
+      ++run.seq_cursor;
+    }
+    DQS_CHECK(run.seq_cursor < run.seq_order.size());
+    run.sp = SchedulingPlan{};
+    run.sp.fragments.push_back(
+        run.state->ChainFragment(run.seq_order[run.seq_cursor]));
+    run.sp.critical_ns.push_back(0.0);
+    return Status::Ok();
+  };
+
+  int remaining = nq;
+  int starved_streak = 0;
+  int turn = 0;
+  int64_t guard = 0;
+  while (remaining > 0) {
+    DQS_CHECK_MSG(++guard < (1LL << 40), "multi-query livelock");
+    QueryRun& run = runs[static_cast<size_t>(turn % nq)];
+    ++turn;
+    if (run.done) continue;
+
+    if (run.need_replan) {
+      DQS_RETURN_IF_ERROR(build_sp(run));
+      run.need_replan = false;
+    }
+    Result<Event> evt = run.dqp->RunPhase(*run.state, run.sp, ctx);
+    if (!evt.ok()) return evt.status();
+#ifdef DQS_MQ_DEBUG
+    std::fprintf(stderr, "[mq] t=%.3fms q=%d evt=%s frag=%d streak=%d rem=%d\n",
+                 ToMillis(ctx.clock.now()), static_cast<int>(turn - 1) % nq,
+                 EventKindName(evt->kind), evt->fragment, starved_streak,
+                 remaining);
+#endif
+    if (evt->kind != EventKind::kStarved) starved_streak = 0;
+    switch (evt->kind) {
+      case EventKind::kEndOfQf:
+        run.state->OnFragmentFinished(evt->fragment, ctx);
+        run.need_replan = true;
+        if (run.state->QueryDone()) {
+          run.done = true;
+          run.done_at = ctx.clock.now();
+          --remaining;
+        }
+        break;
+      case EventKind::kRateChange:
+        // DSE refreshes the snapshot inside ComputePlan; SEQ has no
+        // planning phase, so acknowledge the new estimates here or the
+        // same signal fires forever.
+        if (strategy == StrategyKind::kSeq) {
+          ctx.comm.MarkPlanned(ctx.clock.now());
+        }
+        run.need_replan = true;
+        break;
+      case EventKind::kTimeout:
+      case EventKind::kPlanExhausted:
+        run.need_replan = true;
+        break;
+      case EventKind::kMemoryOverflow:
+        DQS_RETURN_IF_ERROR(run.dqo->HandleMemoryOverflow(
+            *run.state, ctx, run.state->FragmentChain(evt->fragment)));
+        run.need_replan = true;
+        break;
+      case EventKind::kSliceEnd:
+        break;  // keep the plan, yield the CPU
+      case EventKind::kStarved: {
+        run.need_replan = true;
+        if (++starved_streak < remaining) break;
+        // Every unfinished query starves: advance the shared clock to the
+        // earliest arrival any of them waits for.
+        SimTime next = kSimTimeNever;
+        for (QueryRun& other : runs) {
+          if (other.done) continue;
+          ExecutionState& state = *other.state;
+          for (int f = 0; f < state.num_fragments(); ++f) {
+            if (!state.FragmentActive(f)) continue;
+            next = std::min(next, state.fragment(f).NextArrival(ctx));
+          }
+        }
+        if (next == kSimTimeNever) {
+          return Status::Internal("multi-query mix cannot make progress");
+        }
+        ctx.clock.StallUntil(next);
+        starved_streak = 0;
+        break;
+      }
+    }
+  }
+
+  MultiQueryMetrics out;
+  out.makespan = ctx.clock.now();
+  SimDuration sum = 0;
+  for (int qi = 0; qi < nq; ++qi) {
+    const QueryRun& run = runs[static_cast<size_t>(qi)];
+    const PreparedQuery& q = queries_[static_cast<size_t>(qi)];
+    if (config_.verify_results &&
+        (run.result->count() != q.reference.result_card ||
+         run.result->checksum().value() != q.reference.checksum.value())) {
+      return Status::Internal("shared multi-query result mismatch in query " +
+                              std::to_string(qi));
+    }
+    out.response_times.push_back(run.done_at);
+    sum += run.done_at;
+    out.total_degradations += run.state->degradations();
+    out.total_result_tuples += run.result->count();
+  }
+  out.mean_response = sum / static_cast<SimDuration>(nq);
+  out.peak_memory_bytes = ctx.memory.peak();
+  out.disk = ctx.disk.stats();
+  return out;
+}
+
+}  // namespace dqsched::core

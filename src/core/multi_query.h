@@ -1,0 +1,109 @@
+// Multi-query execution — the paper's Section 6 future work made
+// concrete: "we plan to study the behavior of our approach in the context
+// of multi-query execution. As soon as we consider such context, we face
+// the classical tradeoff between throughput and response time."
+//
+// N integration queries share one mediator: one virtual clock, one memory
+// budget, one local disk, one communication manager holding every query's
+// wrappers. Two execution modes:
+//
+//  * kSerial  — queries run one after another (each with the given
+//    per-query strategy): the classical admission-controlled mediator.
+//  * kShared  — queries run concurrently, time-sliced batch-wise through
+//    their own DQS/DQP instances; the global clock stalls only when every
+//    query starves.
+//
+// The metrics expose both sides of the tradeoff: per-query response
+// times (latency) and the makespan (throughput).
+
+#ifndef DQSCHED_CORE_MULTI_QUERY_H_
+#define DQSCHED_CORE_MULTI_QUERY_H_
+
+#include <vector>
+
+#include "core/mediator.h"
+#include "core/metrics.h"
+#include "core/strategy.h"
+#include "plan/canonical_plans.h"
+
+namespace dqsched::core {
+
+/// How the query mix is interleaved.
+enum class MultiMode {
+  kSerial,  // one query at a time
+  kShared,  // concurrent, batch-sliced
+};
+
+const char* MultiModeName(MultiMode mode);
+
+/// Configuration of a multi-query mediator.
+struct MultiQueryConfig {
+  sim::CostModel cost;
+  int64_t memory_budget_bytes = 256LL * 1024 * 1024;
+  comm::CommConfig comm;
+  StrategyConfig strategy;
+  /// Batches one query executes before yielding to the next (kShared).
+  int64_t slice_batches = 32;
+  uint64_t seed = 42;
+  bool verify_results = true;
+};
+
+/// Results of one multi-query execution.
+struct MultiQueryMetrics {
+  /// Virtual completion time of each query (kShared: from the common
+  /// start; kSerial: cumulative — still "when did this query's user get
+  /// the answer").
+  std::vector<SimDuration> response_times;
+  /// Completion of the whole mix (the throughput side of the tradeoff).
+  SimDuration makespan = 0;
+  /// Mean response time across queries (the latency side).
+  SimDuration mean_response = 0;
+  int64_t total_degradations = 0;
+  int64_t total_result_tuples = 0;
+  int64_t peak_memory_bytes = 0;
+  sim::DiskStats disk;
+};
+
+/// A mix of integration queries sharing one mediator.
+class MultiQueryMediator {
+ public:
+  /// Validates and prepares every query (compile, annotate, generate
+  /// data, reference answers). Queries keep independent catalogs; their
+  /// sources are distinct wrappers at the shared mediator.
+  static Result<MultiQueryMediator> Create(
+      std::vector<plan::QuerySetup> queries, MultiQueryConfig config);
+
+  MultiQueryMediator(MultiQueryMediator&&) = default;
+  MultiQueryMediator& operator=(MultiQueryMediator&&) = default;
+
+  /// Runs the mix. `strategy` selects the per-query machinery (kSeq's
+  /// iterator order or kDse's dynamic scheduling); `mode` the
+  /// interleaving. Deterministic per (config, seed).
+  Result<MultiQueryMetrics> Execute(StrategyKind strategy,
+                                    MultiMode mode) const;
+
+  int num_queries() const { return static_cast<int>(queries_.size()); }
+
+ private:
+  struct PreparedQuery {
+    wrapper::Catalog catalog;
+    plan::CompiledPlan compiled;  // chain sources remapped to global ids
+    std::vector<storage::Relation> data;
+    plan::ReferenceResult reference;
+    SourceId source_offset = 0;
+  };
+
+  MultiQueryMediator(std::vector<PreparedQuery> queries,
+                     MultiQueryConfig config)
+      : queries_(std::move(queries)), config_(std::move(config)) {}
+
+  Result<MultiQueryMetrics> ExecuteShared(StrategyKind strategy) const;
+  Result<MultiQueryMetrics> ExecuteSerial(StrategyKind strategy) const;
+
+  std::vector<PreparedQuery> queries_;
+  MultiQueryConfig config_;
+};
+
+}  // namespace dqsched::core
+
+#endif  // DQSCHED_CORE_MULTI_QUERY_H_

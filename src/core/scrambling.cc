@@ -1,0 +1,121 @@
+#include "core/scrambling.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/dqo.h"
+#include "core/dqp.h"
+#include "core/strategy_internal.h"
+
+namespace dqsched::core {
+
+Result<ExecutionMetrics> RunScrambling(ExecutionState& state,
+                                       exec::ExecContext& ctx,
+                                       const ScramblingConfig& config) {
+  if (config.batch_size <= 0 || config.timeout <= 0) {
+    return Status::InvalidArgument("scrambling batch/timeout must be > 0");
+  }
+  DqpConfig dqp_config;
+  dqp_config.batch_size = config.batch_size;
+  dqp_config.stall_timeout = config.timeout;
+  Dqp dqp(dqp_config);
+  Dqo dqo;
+  internal::StrategyCounters counters;
+
+  const std::vector<ChainId> order = state.compiled().IteratorModelOrder();
+  size_t cursor = 0;
+  // Fragments picked by scrambling steps, oldest first (they run whenever
+  // the current operator starves, mirroring "O1 resumes as soon as data
+  // arrives" — the DQP's priority rule gives exactly that).
+  std::vector<int> scrambled;
+
+  int64_t guard = 0;
+  while (!state.QueryDone()) {
+    DQS_CHECK_MSG(++guard < (1LL << 40), "scrambling livelock");
+    // Degraded chains whose ancestors finished resume from their
+    // materialized prefix, as in DSE.
+    for (ChainId c = 0; c < state.num_chains(); ++c) {
+      if (!state.ChainDone(c) && state.Degraded(c) &&
+          !state.CfActivated(c) && state.CSchedulable(c)) {
+        state.ActivateCf(c, ctx);
+      }
+    }
+    while (cursor < order.size() && state.ChainDone(order[cursor])) {
+      ++cursor;
+    }
+    DQS_CHECK_MSG(cursor < order.size(), "cursor past end with query "
+                                         "unfinished");
+
+    SchedulingPlan sp;
+    sp.fragments.push_back(state.ChainFragment(order[cursor]));
+    sp.critical_ns.push_back(0.0);
+    for (int frag : scrambled) {
+      if (!state.FragmentActive(frag)) continue;
+      sp.fragments.push_back(frag);
+      sp.critical_ns.push_back(0.0);
+    }
+
+    Result<Event> evt = dqp.RunPhase(state, sp, ctx);
+    if (!evt.ok()) return evt.status();
+    switch (evt->kind) {
+      case EventKind::kEndOfQf:
+        state.OnFragmentFinished(evt->fragment, ctx);
+        break;
+      case EventKind::kTimeout: {
+        // A scrambling step: suspend the starving current operator
+        // (implicit — it has no data) and pick other work.
+        ++counters.timeouts;
+        dqo.OnTimeout();
+        bool found = false;
+        // (i) another runnable pipeline chain, in iterator order.
+        for (size_t k = cursor + 1; k < order.size() && !found; ++k) {
+          const ChainId c = order[k];
+          if (state.ChainDone(c) || !state.CSchedulable(c)) continue;
+          const int frag = state.ChainFragment(c);
+          if (!state.FragmentActive(frag)) continue;
+          if (std::find(scrambled.begin(), scrambled.end(), frag) !=
+              scrambled.end()) {
+            continue;
+          }
+          scrambled.push_back(frag);
+          found = true;
+        }
+        // (ii) otherwise materialize some blocked wrapper's output.
+        for (size_t k = cursor + 1; k < order.size() && !found; ++k) {
+          const ChainId c = order[k];
+          if (state.ChainDone(c) || state.CSchedulable(c) ||
+              state.Degraded(c)) {
+            continue;
+          }
+          if (ctx.comm.RemainingTuples(state.compiled().chain(c).source) ==
+              0) {
+            continue;
+          }
+          scrambled.push_back(state.Degrade(c, ctx));
+          found = true;
+        }
+        // (iii) "there is no more work to scramble" [1]: wait it out.
+        break;
+      }
+      case EventKind::kMemoryOverflow:
+        DQS_RETURN_IF_ERROR(dqo.HandleMemoryOverflow(
+            state, ctx, state.FragmentChain(evt->fragment)));
+        break;
+      case EventKind::kRateChange:
+        // Scrambling is timeout-driven; it ignores rate estimates.
+        ++counters.rate_changes;
+        ctx.comm.MarkPlanned(ctx.clock.now());
+        break;
+      case EventKind::kPlanExhausted:
+        break;  // rebuild the plan (scrambled set may have gone stale)
+      case EventKind::kSliceEnd:
+      case EventKind::kStarved:
+        return Status::Internal("multi-query event in scrambling");
+    }
+  }
+  return internal::CollectMetrics(ctx, state, /*dqs=*/nullptr, dqp, dqo,
+                                  counters);
+}
+
+}  // namespace dqsched::core

@@ -1,0 +1,48 @@
+// SCR: query scrambling, phase 1 (the paper's Section 1.2, after
+// Amsaleg/Franklin/Urhan [1,2,15]) — the main prior art DSE argues
+// against, implemented here so the comparison is measurable.
+//
+// Scrambling executes the classical iterator model and *reacts*: when the
+// current operator starves past a timeout, a scrambling step (i) suspends
+// it and (ii) picks other work — another runnable pipeline chain if one
+// exists, otherwise the materialization of some not-yet-consumed wrapper's
+// output to local disk (so its delayed/future consumer reads locally).
+// The suspended operator resumes as soon as its data arrives.
+//
+// The paper's two criticisms are reproduced faithfully:
+//  * detection is timeout-driven, so a delay on the *last* accessed source
+//    finds "no more work to scramble";
+//  * the timeout is hard to tune: too large and scrambling never triggers,
+//    too small and it materializes eagerly where waiting was cheaper (see
+//    bench_scrambling).
+// Phase 2 (run-time re-optimization of the remaining plan) is out of
+// scope here exactly as it is for the paper's own evaluation.
+
+#ifndef DQSCHED_CORE_SCRAMBLING_H_
+#define DQSCHED_CORE_SCRAMBLING_H_
+
+#include "common/status.h"
+#include "core/execution_state.h"
+#include "core/metrics.h"
+#include "core/strategy.h"
+#include "exec/exec_context.h"
+
+namespace dqsched::core {
+
+/// Scrambling tunables.
+struct ScramblingConfig {
+  /// Starvation budget before a scrambling step triggers — THE parameter
+  /// the paper calls difficult to configure.
+  SimDuration timeout = Milliseconds(100);
+  /// Batch size of the processor (as elsewhere).
+  int64_t batch_size = 128;
+};
+
+/// Runs the query with scrambling phase 1 over freshly constructed state.
+Result<ExecutionMetrics> RunScrambling(ExecutionState& state,
+                                       exec::ExecContext& ctx,
+                                       const ScramblingConfig& config);
+
+}  // namespace dqsched::core
+
+#endif  // DQSCHED_CORE_SCRAMBLING_H_

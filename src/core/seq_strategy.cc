@@ -1,0 +1,28 @@
+// SEQ: the classical iterator-model execution (paper Sections 2.3 and
+// 5.1.2). Chains run strictly sequentially in build-before-probe order;
+// the engine consumes exactly one input at a time and stalls whenever that
+// input is delayed — "a response time with a lower bound equal to the sum
+// of the times needed to retrieve the data produced by each wrapper".
+
+#include "core/strategy_internal.h"
+
+namespace dqsched::core::internal {
+
+Result<ExecutionMetrics> RunSeqImpl(ExecutionState& state,
+                                    exec::ExecContext& ctx,
+                                    const StrategyConfig& config) {
+  Dqp dqp(config.dqp);
+  Dqo dqo;
+  StrategyCounters counters;
+  for (ChainId chain : state.compiled().IteratorModelOrder()) {
+    DQS_RETURN_IF_ERROR(
+        DriveChain(chain, state, ctx, dqp, dqo, &counters));
+  }
+  if (!state.QueryDone()) {
+    return Status::Internal("SEQ finished every chain but the query is "
+                            "not done");
+  }
+  return CollectMetrics(ctx, state, /*dqs=*/nullptr, dqp, dqo, counters);
+}
+
+}  // namespace dqsched::core::internal

@@ -1,0 +1,49 @@
+// The three execution strategies compared in the paper's evaluation
+// (Section 5.1.2):
+//
+//  * SEQ — the classical iterator model: chains run sequentially in
+//    build-before-probe order; the baseline that stalls on any delay.
+//  * DSE — Dynamic Scheduling Execution: the paper's contribution; the
+//    DQS/DQP/DQO loop with degradation and batch interleaving.
+//  * MA  — Materialize All [1]: phase 1 materializes every remote relation
+//    to local disk simultaneously, phase 2 executes the query from disk.
+//
+// All three share the operator library, queue machinery, disk and cost
+// model, "so the performance difference can only stem from the execution
+// strategies".
+
+#ifndef DQSCHED_CORE_STRATEGY_H_
+#define DQSCHED_CORE_STRATEGY_H_
+
+#include "common/status.h"
+#include "core/dqp.h"
+#include "core/dqs.h"
+#include "core/execution_state.h"
+#include "core/metrics.h"
+#include "exec/exec_context.h"
+
+namespace dqsched::core {
+
+enum class StrategyKind { kSeq, kDse, kMa };
+
+const char* StrategyName(StrategyKind kind);
+
+/// Shared strategy tunables.
+struct StrategyConfig {
+  DqsConfig dqs;
+  DqpConfig dqp;
+};
+
+/// Runs one strategy to completion over freshly constructed state.
+/// The context's clock must be at zero.
+Result<ExecutionMetrics> RunStrategy(StrategyKind kind, ExecutionState& state,
+                                     exec::ExecContext& ctx,
+                                     const StrategyConfig& config);
+
+/// The ExecutionOptions a strategy requires (MA runs its temp I/O
+/// synchronously; see DESIGN.md's substitution notes).
+ExecutionOptions OptionsFor(StrategyKind kind);
+
+}  // namespace dqsched::core
+
+#endif  // DQSCHED_CORE_STRATEGY_H_

@@ -1,0 +1,48 @@
+// Shared plumbing of the strategy implementations. Internal header: not
+// part of the public API.
+
+#ifndef DQSCHED_CORE_STRATEGY_INTERNAL_H_
+#define DQSCHED_CORE_STRATEGY_INTERNAL_H_
+
+#include "core/dqo.h"
+#include "core/dqp.h"
+#include "core/dqs.h"
+#include "core/execution_state.h"
+#include "core/metrics.h"
+#include "core/strategy.h"
+#include "exec/exec_context.h"
+
+namespace dqsched::core::internal {
+
+/// Event tallies a strategy accumulates outside the DQS/DQP counters.
+struct StrategyCounters {
+  int64_t timeouts = 0;
+  int64_t rate_changes = 0;
+};
+
+/// Assembles the metrics of a finished run.
+ExecutionMetrics CollectMetrics(const exec::ExecContext& ctx,
+                                const ExecutionState& state, const Dqs* dqs,
+                                const Dqp& dqp, const Dqo& dqo,
+                                const StrategyCounters& counters);
+
+/// Runs `chain` (and any staged splits) to completion with a
+/// single-fragment scheduling plan — the inner loop of SEQ and of MA's
+/// phase 2.
+Status DriveChain(ChainId chain, ExecutionState& state,
+                  exec::ExecContext& ctx, Dqp& dqp, Dqo& dqo,
+                  StrategyCounters* counters);
+
+Result<ExecutionMetrics> RunSeqImpl(ExecutionState& state,
+                                    exec::ExecContext& ctx,
+                                    const StrategyConfig& config);
+Result<ExecutionMetrics> RunDseImpl(ExecutionState& state,
+                                    exec::ExecContext& ctx,
+                                    const StrategyConfig& config);
+Result<ExecutionMetrics> RunMaImpl(ExecutionState& state,
+                                   exec::ExecContext& ctx,
+                                   const StrategyConfig& config);
+
+}  // namespace dqsched::core::internal
+
+#endif  // DQSCHED_CORE_STRATEGY_INTERNAL_H_

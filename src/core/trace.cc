@@ -1,0 +1,126 @@
+#include "core/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace dqsched::core {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kPlanningPhase:
+      return "plan";
+    case TraceEventKind::kDegradation:
+      return "degrade";
+    case TraceEventKind::kCfActivation:
+      return "activate-cf";
+    case TraceEventKind::kDqoSplit:
+      return "dqo-split";
+    case TraceEventKind::kOperandSpill:
+      return "spill";
+    case TraceEventKind::kEndOfQf:
+      return "end-of-qf";
+    case TraceEventKind::kRateChange:
+      return "rate-change";
+    case TraceEventKind::kTimeout:
+      return "timeout";
+    case TraceEventKind::kMemoryOverflow:
+      return "mem-overflow";
+    case TraceEventKind::kQueryDone:
+      return "query-done";
+  }
+  return "unknown";
+}
+
+void ExecutionTrace::Record(SimTime time, TraceEventKind kind, int fragment,
+                            std::string detail) {
+  if (!enabled_) return;
+  events_.push_back(TraceEvent{time, kind, fragment, std::move(detail)});
+}
+
+void ExecutionTrace::RecordBatch(SimTime time, int fragment,
+                                 int64_t consumed) {
+  if (!enabled_) return;
+  batches_.push_back(TraceBatch{time, fragment, consumed});
+}
+
+int64_t ExecutionTrace::CountOf(TraceEventKind kind) const {
+  int64_t n = 0;
+  for (const TraceEvent& e : events_) n += e.kind == kind;
+  return n;
+}
+
+std::string ExecutionTrace::RenderEventLog(size_t limit) const {
+  std::string out;
+  char line[256];
+  size_t shown = 0;
+  for (const TraceEvent& e : events_) {
+    if (limit != 0 && shown++ >= limit) {
+      std::snprintf(line, sizeof(line), "... (%zu more events)\n",
+                    events_.size() - limit);
+      out += line;
+      break;
+    }
+    std::snprintf(line, sizeof(line), "%12s  %-12s %s%s\n",
+                  FormatDuration(e.time).c_str(), TraceEventKindName(e.kind),
+                  e.detail.c_str(),
+                  e.fragment >= 0
+                      ? (" [frag " + std::to_string(e.fragment) + "]").c_str()
+                      : "");
+    out += line;
+  }
+  return out;
+}
+
+std::string ExecutionTrace::RenderTimeline(
+    const std::vector<std::string>& names, int columns) const {
+  if (batches_.empty()) return "(no batch activity recorded)\n";
+  columns = std::max(columns, 8);
+  SimTime end = 0;
+  for (const TraceBatch& b : batches_) end = std::max(end, b.time);
+  if (end == 0) end = 1;
+
+  // Per-fragment tuple counts per time bucket.
+  std::map<int, std::vector<int64_t>> rows;
+  for (const TraceBatch& b : batches_) {
+    auto& row = rows[b.fragment];
+    if (row.empty()) row.assign(static_cast<size_t>(columns), 0);
+    int bucket = static_cast<int>((b.time * columns) / (end + 1));
+    bucket = std::min(bucket, columns - 1);
+    row[static_cast<size_t>(bucket)] += b.consumed;
+  }
+  int64_t max_cell = 1;
+  for (const auto& [frag, row] : rows) {
+    for (int64_t v : row) max_cell = std::max(max_cell, v);
+  }
+
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-14s0s%*s\n", "", columns - 4,
+                FormatDuration(end).c_str());
+  out += "fragment activity (tuples consumed per time bucket)\n";
+  out += buf;
+  for (const auto& [frag, row] : rows) {
+    std::string name = frag >= 0 && static_cast<size_t>(frag) < names.size()
+                           ? names[static_cast<size_t>(frag)]
+                           : "#" + std::to_string(frag);
+    if (name.size() > 12) name.resize(12);
+    std::snprintf(buf, sizeof(buf), "%-12s |", name.c_str());
+    out += buf;
+    for (int64_t v : row) {
+      if (v == 0) {
+        out += ' ';
+      } else if (v * 8 < max_cell) {
+        out += '.';
+      } else if (v * 2 < max_cell) {
+        out += ':';
+      } else {
+        out += '#';
+      }
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace dqsched::core

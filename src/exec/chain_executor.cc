@@ -1,0 +1,189 @@
+#include "exec/chain_executor.h"
+
+#include "common/macros.h"
+
+namespace dqsched::exec {
+
+int64_t FragmentRuntime::BytesToOpen(const ExecContext& ctx) const {
+  if (opened_) return 0;
+  int64_t bytes = 0;
+  for (const plan::ChainOp& op : spec_.ops) {
+    if (op.kind == plan::ChainOpKind::kProbe) {
+      bytes += operands_->Get(op.join).BytesToLoad(ctx);
+    }
+  }
+  return bytes;
+}
+
+Status FragmentRuntime::Open(ExecContext& ctx) {
+  if (opened_) return Status::Ok();
+  DQS_CHECK_MSG(!closed_, "open of closed fragment %s", name().c_str());
+  for (size_t i = 0; i < spec_.ops.size(); ++i) {
+    const plan::ChainOp& op = spec_.ops[i];
+    if (op.kind != plan::ChainOpKind::kProbe) continue;
+    Operand& operand = operands_->Get(op.join);
+    DQS_CHECK_MSG(operand.sealed(),
+                  "fragment %s opened before operand %s finished "
+                  "(C-schedulability violated)",
+                  name().c_str(), operand.name().c_str());
+    Status loaded = operand.Load(ctx, spec_.async_io);
+    if (!loaded.ok()) {
+      // Unwind WITHOUT destroying operand data: a later DQO revision (or a
+      // retry once memory frees up) must still be able to probe them.
+      for (size_t j = 0; j < i; ++j) {
+        if (spec_.ops[j].kind == plan::ChainOpKind::kProbe) {
+          operands_->Get(spec_.ops[j].join).Unload(ctx);
+        }
+      }
+      return loaded;
+    }
+  }
+  opened_ = true;
+  return Status::Ok();
+}
+
+Result<int64_t> FragmentRuntime::ProcessBatch(ExecContext& ctx,
+                                              int64_t max_tuples) {
+  DQS_CHECK_MSG(!closed_, "batch on closed fragment %s", name().c_str());
+  DQS_RETURN_IF_ERROR(Open(ctx));
+  if (max_tuples <= 0) return static_cast<int64_t>(0);
+
+  in_buf_.resize(static_cast<size_t>(max_tuples));
+  const ChainSource::PopResult pop =
+      source_->Pop(ctx, in_buf_.data(), max_tuples);
+  if (pop.count == 0) return static_cast<int64_t>(0);
+  stats_.consumed += pop.count;
+  ++stats_.batches;
+
+  int64_t instr = 0;
+  // Receive cost: live network batches only (temp batches were received —
+  // and charged — when they were first consumed by the materializer).
+  if (!pop.from_temp && source_->remote_source() != kInvalidId) {
+    ctx.clock.Advance(ctx.net.ChargeReceive(source_->remote_source(),
+                                            pop.count));
+  }
+  // The scan's per-tuple move.
+  instr += pop.count * ctx.cost->instr_move_tuple;
+
+  work_a_.assign(in_buf_.begin(), in_buf_.begin() + pop.count);
+  std::vector<storage::Tuple>* cur = &work_a_;
+  std::vector<storage::Tuple>* next = &work_b_;
+
+  const size_t first_op =
+      pop.from_temp ? static_cast<size_t>(spec_.temp_skip_ops) : 0;
+  for (size_t oi = first_op; oi < spec_.ops.size(); ++oi) {
+    const plan::ChainOp& op = spec_.ops[oi];
+    next->clear();
+    switch (op.kind) {
+      case plan::ChainOpKind::kFilter:
+        instr += static_cast<int64_t>(cur->size()) *
+                 ctx.cost->instr_move_tuple;
+        for (const storage::Tuple& t : *cur) {
+          if (storage::FilterPasses(t.rowid, op.node, op.selectivity)) {
+            next->push_back(t);
+          }
+        }
+        break;
+      case plan::ChainOpKind::kProbe: {
+        const Operand& operand = operands_->Get(op.join);
+        DQS_CHECK_MSG(operand.loaded(), "probe of unloaded operand %s by %s",
+                      operand.name().c_str(), name().c_str());
+        instr += static_cast<int64_t>(cur->size()) *
+                 ctx.cost->instr_hash_probe;
+        const auto& tuples = operand.tuples();
+        for (const storage::Tuple& t : *cur) {
+          const int64_t key =
+              t.keys[static_cast<size_t>(op.probe_key_field)];
+          operand.index().ForEachMatch(key, [&](size_t idx) {
+            storage::Tuple r = t;  // probe-side fields carry through
+            r.rowid = storage::CombineRowid(tuples[idx].rowid, t.rowid);
+            next->push_back(r);
+          });
+        }
+        instr += static_cast<int64_t>(next->size()) *
+                 ctx.cost->instr_produce_result;
+        break;
+      }
+    }
+    std::swap(cur, next);
+  }
+
+  // Sink delivery.
+  const int64_t out_n = static_cast<int64_t>(cur->size());
+  instr += out_n * ctx.cost->instr_move_tuple;
+  ctx.ChargeInstr(instr);
+  switch (spec_.sink) {
+    case SinkKind::kOperand:
+      operands_->Get(spec_.sink_join)
+          .Append(ctx, cur->data(), out_n, spec_.async_io);
+      break;
+    case SinkKind::kTemp:
+      ctx.temps.Append(spec_.sink_temp, cur->data(), out_n, spec_.async_io);
+      break;
+    case SinkKind::kResult:
+      DQS_CHECK(result_ != nullptr);
+      for (const storage::Tuple& t : *cur) result_->Add(t);
+      break;
+  }
+  stats_.produced += out_n;
+  // Asynchronously read input may land after the CPU work: wait for it.
+  ctx.clock.BusyUntil(pop.ready);
+  return pop.count;
+}
+
+std::unique_ptr<ChainSource> FragmentRuntime::TakeSource() {
+  DQS_CHECK_MSG(stats_.consumed == 0 && !opened_,
+                "TakeSource from started fragment %s", name().c_str());
+  closed_ = true;  // the husk must never execute
+  return std::move(source_);
+}
+
+bool FragmentRuntime::Finished(const ExecContext& ctx) const {
+  return source_->Exhausted(ctx);
+}
+
+void FragmentRuntime::Stop(ExecContext& ctx) {
+  if (closed_) return;
+  switch (spec_.sink) {
+    case SinkKind::kOperand:
+      // Operands cannot be partially sealed; only temp sinks stop early.
+      DQS_CHECK_MSG(false, "Stop() on operand-sink fragment %s",
+                    name().c_str());
+      break;
+    case SinkKind::kTemp:
+      ctx.temps.Seal(spec_.sink_temp);
+      break;
+    case SinkKind::kResult:
+      DQS_CHECK_MSG(false, "Stop() on result fragment %s", name().c_str());
+      break;
+  }
+  closed_ = true;
+}
+
+void FragmentRuntime::Close(ExecContext& ctx) {
+  if (closed_) return;
+  DQS_CHECK_MSG(Finished(ctx), "close of unfinished fragment %s",
+                name().c_str());
+  switch (spec_.sink) {
+    case SinkKind::kOperand:
+      operands_->Get(spec_.sink_join).Seal(ctx);
+      break;
+    case SinkKind::kTemp:
+      ctx.temps.Seal(spec_.sink_temp);
+      break;
+    case SinkKind::kResult:
+      break;
+  }
+  // Release the operands this fragment probed; each join has exactly one
+  // probing fragment, so nothing else needs them.
+  if (opened_) {
+    for (const plan::ChainOp& op : spec_.ops) {
+      if (op.kind == plan::ChainOpKind::kProbe) {
+        operands_->Get(op.join).ReleaseAll(ctx);
+      }
+    }
+  }
+  closed_ = true;
+}
+
+}  // namespace dqsched::exec

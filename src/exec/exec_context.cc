@@ -1,0 +1,3 @@
+#include "exec/exec_context.h"
+
+// ExecContext is header-only; this file anchors the header in the build.

@@ -1,0 +1,67 @@
+// The per-execution context: virtual clock, simulated devices, the
+// communication manager, temp store, memory accountant, and the result
+// collector. One ExecContext per strategy run; everything an operator or
+// scheduler touches at runtime hangs off this object.
+
+#ifndef DQSCHED_EXEC_EXEC_CONTEXT_H_
+#define DQSCHED_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+
+#include "comm/comm_manager.h"
+#include "sim/cost_model.h"
+#include "sim/disk.h"
+#include "sim/network.h"
+#include "sim/sim_clock.h"
+#include "storage/memory_accountant.h"
+#include "storage/temp_store.h"
+#include "storage/tuple.h"
+
+namespace dqsched::exec {
+
+/// Accumulates the query result (count + order-independent checksum; the
+/// simulator does not retain result tuples).
+class ResultCollector {
+ public:
+  void Add(const storage::Tuple& t) { checksum_.Add(t); }
+  int64_t count() const { return checksum_.count(); }
+  const storage::ResultChecksum& checksum() const { return checksum_; }
+
+ private:
+  storage::ResultChecksum checksum_;
+};
+
+/// Everything one execution needs, wired together.
+class ExecContext {
+ public:
+  ExecContext(const sim::CostModel* cost_model,
+              const comm::CommConfig& comm_config, int64_t memory_budget)
+      : cost(cost_model),
+        disk(cost_model),
+        net(cost_model),
+        comm(comm_config),
+        temps(cost_model, &disk, &clock),
+        memory(memory_budget) {}
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  /// Charges `instr` CPU instructions to the virtual clock.
+  void ChargeInstr(int64_t instr) { clock.Advance(cost->InstrTime(instr)); }
+
+  /// Delivers all wrapper production due by now.
+  void Pump() { comm.PumpAll(clock.now()); }
+
+  const sim::CostModel* cost;
+  sim::SimClock clock;
+  sim::SimDisk disk;
+  sim::NetworkModel net;
+  comm::CommManager comm;
+  storage::TempStore temps;
+  storage::MemoryAccountant memory;
+  ResultCollector result;
+};
+
+}  // namespace dqsched::exec
+
+#endif  // DQSCHED_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,35 @@
+#include "exec/hash_index.h"
+
+#include "common/macros.h"
+
+namespace dqsched::exec {
+
+uint64_t HashIndex::SlotCountFor(int64_t n) {
+  // Load factor <= 0.5, minimum 16 slots, power of two.
+  uint64_t want = static_cast<uint64_t>(n < 8 ? 8 : n) * 2;
+  uint64_t slots = 16;
+  while (slots < want) slots <<= 1;
+  return slots;
+}
+
+int64_t HashIndex::EstimateBytes(int64_t n) {
+  return static_cast<int64_t>(SlotCountFor(n) * sizeof(Slot));
+}
+
+void HashIndex::Build(const std::vector<storage::Tuple>& tuples, int field) {
+  DQS_CHECK_MSG(field >= 0 && field < storage::kTupleKeyFields,
+                "bad key field %d", field);
+  slots_.assign(SlotCountFor(static_cast<int64_t>(tuples.size())), Slot{});
+  const uint64_t mask = slots_.size() - 1;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    const int64_t key = tuples[i].keys[static_cast<size_t>(field)];
+    uint64_t pos = storage::Mix64(static_cast<uint64_t>(key)) & mask;
+    while (slots_[pos].index >= 0) pos = (pos + 1) & mask;
+    slots_[pos].key = key;
+    slots_[pos].index = static_cast<int64_t>(i);
+  }
+  entries_ = static_cast<int64_t>(tuples.size());
+  built_ = true;
+}
+
+}  // namespace dqsched::exec

@@ -1,0 +1,76 @@
+// Open-addressing hash index over a build operand's tuples.
+//
+// Built once when a probe chain opens, probed many times, never mutated
+// afterwards. Duplicate keys are stored as separate entries; a probe walks
+// the run of its home slot collecting every match (linear probing keeps
+// equal keys clustered, so lookups touch a contiguous slot range).
+
+#ifndef DQSCHED_EXEC_HASH_INDEX_H_
+#define DQSCHED_EXEC_HASH_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "storage/tuple.h"
+
+namespace dqsched::exec {
+
+/// Maps int64 keys to indexes into the operand's tuple vector.
+class HashIndex {
+ public:
+  HashIndex() = default;
+
+  /// Builds the index over `tuples` keyed on keys[field]. Any previous
+  /// content is discarded.
+  void Build(const std::vector<storage::Tuple>& tuples, int field);
+
+  /// Invokes fn(size_t index) for every entry whose key equals `key`.
+  template <typename Fn>
+  void ForEachMatch(int64_t key, Fn&& fn) const {
+    if (slots_.empty()) return;
+    const uint64_t mask = slots_.size() - 1;
+    uint64_t pos = storage::Mix64(static_cast<uint64_t>(key)) & mask;
+    while (slots_[pos].index >= 0) {
+      if (slots_[pos].key == key) fn(static_cast<size_t>(slots_[pos].index));
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  int64_t entry_count() const { return entries_; }
+  bool built() const { return built_; }
+
+  /// Bytes this index occupies (matches EstimateBytes for the same n).
+  int64_t AllocatedBytes() const {
+    return static_cast<int64_t>(slots_.size() * sizeof(Slot));
+  }
+
+  /// Memory an index over `n` entries will occupy — the quantity granted
+  /// from the accountant before building. Consistent with
+  /// CostModel::hash_index_entry_bytes (2x slots at 16 bytes).
+  static int64_t EstimateBytes(int64_t n);
+
+  void Clear() {
+    slots_.clear();
+    slots_.shrink_to_fit();
+    entries_ = 0;
+    built_ = false;
+  }
+
+ private:
+  struct Slot {
+    int64_t key = 0;
+    int64_t index = -1;  // -1 = empty
+  };
+  static_assert(sizeof(Slot) == 16, "slot layout drives memory accounting");
+
+  static uint64_t SlotCountFor(int64_t n);
+
+  std::vector<Slot> slots_;
+  int64_t entries_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace dqsched::exec
+
+#endif  // DQSCHED_EXEC_HASH_INDEX_H_

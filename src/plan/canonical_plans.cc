@@ -1,0 +1,117 @@
+#include "plan/canonical_plans.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace dqsched::plan {
+namespace {
+
+int64_t Scaled(double scale, int64_t v) {
+  const int64_t s = static_cast<int64_t>(std::llround(scale * static_cast<double>(v)));
+  return s < 1 ? 1 : s;
+}
+
+wrapper::SourceSpec MakeSource(const char* name, int64_t card,
+                               double mean_delay_us) {
+  wrapper::SourceSpec s;
+  s.relation.name = name;
+  s.relation.cardinality = card;
+  s.delay.kind = wrapper::DelayKind::kUniform;
+  s.delay.mean_us = mean_delay_us;
+  return s;
+}
+
+}  // namespace
+
+QuerySetup PaperFigure5Query(double scale, double mean_delay_us) {
+  QuerySetup q;
+  // Cardinalities: A..D medium, E..F small (paper Section 5.1.1).
+  auto a = MakeSource("A", Scaled(scale, 150000), mean_delay_us);
+  auto b = MakeSource("B", Scaled(scale, 100000), mean_delay_us);
+  auto c = MakeSource("C", Scaled(scale, 200000), mean_delay_us);
+  auto d = MakeSource("D", Scaled(scale, 100000), mean_delay_us);
+  auto e = MakeSource("E", Scaled(scale, 20000), mean_delay_us);
+  auto f = MakeSource("F", Scaled(scale, 10000), mean_delay_us);
+
+  // Key domains chosen so intermediate results stay medium-sized:
+  //   J1: A.k0 = B.k0, domain 150K -> fanout 1, |J1| ~ 100K
+  //   J2: B.k1 = F.k0, domain 25K  -> fanout 4, |J2| ~ 40K
+  //   J3: E.k0 = D.k0, domain 20K  -> fanout 1, |J3| ~ 100K
+  //   J4: F.k1 = D.k1, domain 40K  -> fanout 1, |J4| ~ 100K
+  //   J5: D.k2 = C.k0, domain 100K -> fanout 1, result ~ 200K
+  a.relation.key_domain[0] = Scaled(scale, 150000);
+  b.relation.key_domain[0] = Scaled(scale, 150000);
+  b.relation.key_domain[1] = Scaled(scale, 25000);
+  f.relation.key_domain[0] = Scaled(scale, 25000);
+  e.relation.key_domain[0] = Scaled(scale, 20000);
+  d.relation.key_domain[0] = Scaled(scale, 20000);
+  f.relation.key_domain[1] = Scaled(scale, 40000);
+  d.relation.key_domain[1] = Scaled(scale, 40000);
+  d.relation.key_domain[2] = Scaled(scale, 100000);
+  c.relation.key_domain[0] = Scaled(scale, 100000);
+
+  q.catalog.sources = {a, b, c, d, e, f};
+  const SourceId sa = 0, sb = 1, sc = 2, sd = 3, se = 4, sf = 5;
+
+  Plan& p = q.plan;
+  const NodeId scan_a = p.AddScan(sa);
+  const NodeId scan_b = p.AddScan(sb);
+  const NodeId scan_c = p.AddScan(sc);
+  const NodeId scan_d = p.AddScan(sd);
+  const NodeId scan_e = p.AddScan(se);
+  const NodeId scan_f = p.AddScan(sf);
+  const NodeId j1 = p.AddHashJoin(scan_a, scan_b, /*build_field=*/0,
+                                  /*probe_field=*/0);
+  const NodeId j2 = p.AddHashJoin(j1, scan_f, /*build_field=*/1,
+                                  /*probe_field=*/0);
+  const NodeId j3 = p.AddHashJoin(scan_e, scan_d, /*build_field=*/0,
+                                  /*probe_field=*/0);
+  const NodeId j4 = p.AddHashJoin(j2, j3, /*build_field=*/1,
+                                  /*probe_field=*/1);
+  const NodeId j5 = p.AddHashJoin(j4, scan_c, /*build_field=*/2,
+                                  /*probe_field=*/0);
+  p.SetRoot(j5);
+
+  DQS_CHECK_MSG(q.plan.Validate(q.catalog).ok(), "canonical plan invalid: %s",
+                q.plan.Validate(q.catalog).ToString().c_str());
+  return q;
+}
+
+QuerySetup TinyTwoSourceQuery(int64_t card_a, int64_t card_b,
+                              double mean_delay_us) {
+  QuerySetup q;
+  auto a = MakeSource("A", card_a, mean_delay_us);
+  auto b = MakeSource("B", card_b, mean_delay_us);
+  const int64_t domain = card_a < 1 ? 1 : card_a;  // fanout ~1
+  a.relation.key_domain[0] = domain;
+  b.relation.key_domain[0] = domain;
+  q.catalog.sources = {a, b};
+  const NodeId scan_a = q.plan.AddScan(0);
+  const NodeId scan_b = q.plan.AddScan(1);
+  q.plan.SetRoot(q.plan.AddHashJoin(scan_a, scan_b, 0, 0));
+  DQS_CHECK(q.plan.Validate(q.catalog).ok());
+  return q;
+}
+
+QuerySetup ChainThreeSourceQuery(double mean_delay_us) {
+  QuerySetup q;
+  auto a = MakeSource("A", 3000, mean_delay_us);
+  auto b = MakeSource("B", 5000, mean_delay_us);
+  auto c = MakeSource("C", 8000, mean_delay_us);
+  // J_inner: B.k0 = C.k0; J_outer: A.k0 = C.k1 (C carries through).
+  b.relation.key_domain[0] = 5000;
+  c.relation.key_domain[0] = 5000;
+  a.relation.key_domain[0] = 3000;
+  c.relation.key_domain[1] = 3000;
+  q.catalog.sources = {a, b, c};
+  const NodeId scan_a = q.plan.AddScan(0);
+  const NodeId scan_b = q.plan.AddScan(1);
+  const NodeId scan_c = q.plan.AddScan(2);
+  const NodeId inner = q.plan.AddHashJoin(scan_b, scan_c, 0, 0);
+  q.plan.SetRoot(q.plan.AddHashJoin(scan_a, inner, 0, 1));
+  DQS_CHECK(q.plan.Validate(q.catalog).ok());
+  return q;
+}
+
+}  // namespace dqsched::plan

@@ -1,0 +1,46 @@
+// Ready-made query setups: the paper's experimental plan (Figure 5,
+// reconstructed from the Section 5 text — see DESIGN.md) and small plans
+// for tests and the quickstart example.
+
+#ifndef DQSCHED_PLAN_CANONICAL_PLANS_H_
+#define DQSCHED_PLAN_CANONICAL_PLANS_H_
+
+#include "plan/plan_node.h"
+#include "wrapper/catalog.h"
+
+namespace dqsched::plan {
+
+/// A catalog plus a validated plan over it.
+struct QuerySetup {
+  wrapper::Catalog catalog;
+  Plan plan;
+};
+
+/// The paper's experimental query: a five-way join over six sources,
+/// A..D medium (100K-200K tuples), E..F small (10K-20K), shaped so that
+/// p_A blocks p_B which blocks p_F (together roughly half the work) while
+/// p_C blocks nothing — the properties Section 5 discusses.
+///
+///   J1 = HJ(build A,      probe B)
+///   J2 = HJ(build J1 out, probe F)
+///   J3 = HJ(build E,      probe D)
+///   J4 = HJ(build J2 out, probe J3 out)
+///   J5 = HJ(build J4 out, probe C)     <- root
+///
+/// `scale` multiplies every cardinality (and key domain) — 1.0 is the
+/// paper-size workload; smaller values make tests fast. `mean_delay_us`
+/// sets every wrapper's uniform-delay mean (the paper's w_min is ~20 us).
+QuerySetup PaperFigure5Query(double scale = 1.0, double mean_delay_us = 20.0);
+
+/// HJ(build A, probe B): one join, two sources; the smallest interesting
+/// setup for unit tests and the quickstart.
+QuerySetup TinyTwoSourceQuery(int64_t card_a = 2000, int64_t card_b = 4000,
+                              double mean_delay_us = 20.0);
+
+/// A three-source right-deep chain HJ(build A, probe HJ(build B, probe C))
+/// exercising transitive blocking.
+QuerySetup ChainThreeSourceQuery(double mean_delay_us = 20.0);
+
+}  // namespace dqsched::plan
+
+#endif  // DQSCHED_PLAN_CANONICAL_PLANS_H_

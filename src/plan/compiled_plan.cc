@@ -1,0 +1,140 @@
+#include "plan/compiled_plan.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dqsched::plan {
+
+namespace {
+
+/// Recursive chain extractor. Chains are created result-chain-first;
+/// blocker chains get higher ids — ids are arbitrary labels, ordering
+/// semantics come from the blocker DAG.
+class Compiler {
+ public:
+  Compiler(const Plan& plan, const wrapper::Catalog& catalog)
+      : plan_(plan), catalog_(catalog) {}
+
+  Result<CompiledPlan> Run() {
+    const ChainId result =
+        CompileChain(plan_.root(), /*is_result=*/true, kInvalidId, 0);
+    out_.result_chain = result;
+    out_.num_joins = next_join_;
+    return std::move(out_);
+  }
+
+ private:
+  /// Compiles the chain whose top operator is `top`, flowing into either
+  /// the result sink or the operand of `sink_join` hashed on
+  /// `build_key_field`.
+  ChainId CompileChain(NodeId top, bool is_result, JoinId sink_join,
+                       int build_key_field) {
+    ChainInfo chain;
+    chain.id = static_cast<ChainId>(out_.chains.size());
+    chain.is_result = is_result;
+    chain.sink_join = sink_join;
+    chain.build_key_field = build_key_field;
+    out_.chains.emplace_back();  // reserve the slot / the id
+
+    // Walk down pipelinable edges, collecting ops top-to-bottom.
+    struct PendingBuild {
+      NodeId build_top;
+      JoinId join;
+      int build_field;
+    };
+    std::vector<ChainOp> ops_down;
+    std::vector<PendingBuild> builds;
+    NodeId cur = top;
+    for (;;) {
+      const PlanNode& n = plan_.node(cur);
+      if (n.type == OpType::kHashJoin) {
+        const JoinId join = next_join_++;
+        out_.operand_of_join.push_back(kInvalidId);  // filled below
+        out_.join_build_field.push_back(n.build_key_field);
+        ChainOp op;
+        op.kind = ChainOpKind::kProbe;
+        op.node = n.id;
+        op.join = join;
+        op.probe_key_field = n.probe_key_field;
+        ops_down.push_back(op);
+        builds.push_back({n.build, join, n.build_key_field});
+        cur = n.probe;
+      } else if (n.type == OpType::kFilter) {
+        ChainOp op;
+        op.kind = ChainOpKind::kFilter;
+        op.node = n.id;
+        op.selectivity = n.selectivity;
+        ops_down.push_back(op);
+        cur = n.input;
+      } else {  // kScan: chain head
+        chain.source = n.source;
+        break;
+      }
+    }
+    chain.ops.assign(ops_down.rbegin(), ops_down.rend());
+    chain.name = "p_" + catalog_.source(chain.source).relation.name;
+
+    // Compile the build sides; they block this chain.
+    for (const PendingBuild& b : builds) {
+      const ChainId bc = CompileChain(b.build_top, /*is_result=*/false,
+                                      b.join, b.build_field);
+      out_.operand_of_join[static_cast<size_t>(b.join)] = bc;
+      chain.blockers.push_back(bc);
+    }
+    out_.chains[static_cast<size_t>(chain.id)] = std::move(chain);
+    return out_.chains[static_cast<size_t>(chain.id)].id;
+  }
+
+  const Plan& plan_;
+  const wrapper::Catalog& catalog_;
+  CompiledPlan out_;
+  JoinId next_join_ = 0;
+};
+
+}  // namespace
+
+std::vector<ChainId> CompiledPlan::Ancestors(ChainId id) const {
+  std::vector<bool> seen(chains.size(), false);
+  std::vector<ChainId> stack = chain(id).blockers;
+  std::vector<ChainId> out;
+  while (!stack.empty()) {
+    const ChainId c = stack.back();
+    stack.pop_back();
+    if (seen[static_cast<size_t>(c)]) continue;
+    seen[static_cast<size_t>(c)] = true;
+    out.push_back(c);
+    for (ChainId b : chain(c).blockers) stack.push_back(b);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ChainId> CompiledPlan::IteratorModelOrder() const {
+  std::vector<ChainId> order;
+  std::vector<bool> visited(chains.size(), false);
+  // Post-order over the blocking DAG, operands in probe-op order.
+  auto visit = [&](auto&& self, ChainId id) -> void {
+    if (visited[static_cast<size_t>(id)]) return;
+    visited[static_cast<size_t>(id)] = true;
+    for (const ChainOp& op : chain(id).ops) {
+      if (op.kind == ChainOpKind::kProbe) {
+        self(self, operand_of_join[static_cast<size_t>(op.join)]);
+      }
+    }
+    order.push_back(id);
+  };
+  visit(visit, result_chain);
+  DQS_CHECK_MSG(order.size() == chains.size(),
+                "iterator order visited %zu of %zu chains", order.size(),
+                chains.size());
+  return order;
+}
+
+Result<CompiledPlan> Compile(const Plan& plan,
+                             const wrapper::Catalog& catalog) {
+  DQS_RETURN_IF_ERROR(plan.Validate(catalog));
+  return Compiler(plan, catalog).Run();
+}
+
+}  // namespace dqsched::plan

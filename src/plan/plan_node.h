@@ -1,0 +1,88 @@
+// Logical query execution plans (QEPs).
+//
+// A QEP is an operator tree with two kinds of edges (paper Section 2.2):
+// *blocking* (the consumer needs the producer's entire output first — the
+// build input of a hash join) and *pipelinable* (tuple-at-a-time — the
+// probe input, filters, scans). Materialization before blocking edges is
+// implicit: compilation inserts an operand sink at every blocking edge.
+//
+// Supported operators: Scan (one per remote source), Filter (deterministic
+// pseudo-predicate with a configurable selectivity), and HashJoin (binary,
+// asymmetric: blocking build input, pipelinable probe input), matching the
+// paper's "classical query execution plans with binary, asymmetric
+// relational operators".
+
+#ifndef DQSCHED_PLAN_PLAN_NODE_H_
+#define DQSCHED_PLAN_PLAN_NODE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "wrapper/catalog.h"
+
+namespace dqsched::plan {
+
+enum class OpType { kScan, kFilter, kHashJoin };
+
+const char* OpTypeName(OpType type);
+
+/// One node of the logical plan tree.
+struct PlanNode {
+  NodeId id = kInvalidId;
+  OpType type = OpType::kScan;
+
+  // kScan
+  SourceId source = kInvalidId;
+
+  // kFilter
+  double selectivity = 1.0;
+  NodeId input = kInvalidId;
+
+  // kHashJoin: equi-join on build.keys[build_key_field] ==
+  // probe.keys[probe_key_field]. The build edge is blocking, the probe
+  // edge pipelinable.
+  NodeId build = kInvalidId;
+  NodeId probe = kInvalidId;
+  int build_key_field = 0;
+  int probe_key_field = 0;
+};
+
+/// An immutable-after-construction logical plan. Build with the Add*
+/// methods bottom-up, set the root, then Validate against a catalog.
+class Plan {
+ public:
+  /// Adds a scan of `source`; returns the node id.
+  NodeId AddScan(SourceId source);
+  /// Adds a filter with the given selectivity over `input`.
+  NodeId AddFilter(NodeId input, double selectivity);
+  /// Adds a hash join; `build` is the blocking side.
+  NodeId AddHashJoin(NodeId build, NodeId probe, int build_key_field,
+                     int probe_key_field);
+
+  void SetRoot(NodeId root) { root_ = root; }
+  NodeId root() const { return root_; }
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const PlanNode& node(NodeId id) const;
+
+  /// Structural validation: the nodes form a tree rooted at root(), every
+  /// scan references a catalog source, no source is scanned twice (each
+  /// wrapper feeds exactly one queue), selectivities are in [0,1], key
+  /// fields are in range.
+  Status Validate(const wrapper::Catalog& catalog) const;
+
+  /// Compact single-line rendering, e.g. "HJ(HJ(A,B),C)" — for logs/tests.
+  std::string ToString(const wrapper::Catalog& catalog) const;
+
+ private:
+  NodeId Add(PlanNode node);
+
+  std::vector<PlanNode> nodes_;
+  NodeId root_ = kInvalidId;
+};
+
+}  // namespace dqsched::plan
+
+#endif  // DQSCHED_PLAN_PLAN_NODE_H_

@@ -1,0 +1,192 @@
+#include "plan/query_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace dqsched::plan {
+
+namespace {
+
+wrapper::Catalog RandomCatalog(const GeneratorConfig& config, Rng& rng) {
+  wrapper::Catalog catalog;
+  for (int i = 0; i < config.num_sources; ++i) {
+    wrapper::SourceSpec spec;
+    spec.relation.name = "R" + std::to_string(i);
+    spec.relation.cardinality =
+        rng.UniformRange(config.min_cardinality, config.max_cardinality);
+    spec.delay.kind = wrapper::DelayKind::kUniform;
+    spec.delay.mean_us = config.mean_delay_us;
+    catalog.sources.push_back(std::move(spec));
+  }
+  return catalog;
+}
+
+int64_t PickDomain(const GeneratorConfig& config, Rng& rng, double build_card) {
+  const double fanout =
+      config.min_fanout +
+      rng.NextDouble() * (config.max_fanout - config.min_fanout);
+  const double domain = std::max(1.0, build_card / fanout);
+  return static_cast<int64_t>(std::llround(domain));
+}
+
+}  // namespace
+
+GeneratedGraph GenerateJoinGraph(const GeneratorConfig& config) {
+  DQS_CHECK_MSG(config.num_sources >= 1, "need at least one source");
+  Rng rng(config.seed);
+  GeneratedGraph out;
+  out.catalog = RandomCatalog(config, rng);
+
+  std::vector<int> fields_used(static_cast<size_t>(config.num_sources), 0);
+  for (int i = 1; i < config.num_sources; ++i) {
+    // Attach relation i to a random earlier relation with a free field.
+    int target = -1;
+    for (int tries = 0; tries < 64 && target < 0; ++tries) {
+      const int cand = static_cast<int>(rng.Uniform(static_cast<uint64_t>(i)));
+      if (fields_used[static_cast<size_t>(cand)] <
+          storage::kTupleKeyFields) {
+        target = cand;
+      }
+    }
+    if (target < 0) {
+      // Dense degrees exhausted randomness: scan linearly.
+      for (int cand = 0; cand < i && target < 0; ++cand) {
+        if (fields_used[static_cast<size_t>(cand)] <
+            storage::kTupleKeyFields) {
+          target = cand;
+        }
+      }
+    }
+    DQS_CHECK_MSG(target >= 0,
+                  "join-graph generation ran out of key fields; reduce "
+                  "num_sources or the tree degree");
+    JoinEdge edge;
+    edge.a = target;
+    edge.a_field = fields_used[static_cast<size_t>(target)]++;
+    edge.b = i;
+    edge.b_field = fields_used[static_cast<size_t>(i)]++;
+    const double smaller = static_cast<double>(
+        std::min(out.catalog.source(edge.a).relation.cardinality,
+                 out.catalog.source(edge.b).relation.cardinality));
+    edge.domain = PickDomain(config, rng, smaller);
+    out.catalog.source(edge.a)
+        .relation.key_domain[static_cast<size_t>(edge.a_field)] = edge.domain;
+    out.catalog.source(edge.b)
+        .relation.key_domain[static_cast<size_t>(edge.b_field)] = edge.domain;
+    out.edges.push_back(edge);
+  }
+  return out;
+}
+
+Result<QuerySetup> GenerateBushyQuery(const GeneratorConfig& config,
+                                      bool use_optimizer) {
+  if (config.num_sources < 1) {
+    return Status::InvalidArgument("num_sources must be >= 1");
+  }
+  if (use_optimizer) {
+    GeneratedGraph graph = GenerateJoinGraph(config);
+    Result<Plan> plan = OptimizeBushy(graph.catalog, graph.edges);
+    if (!plan.ok()) return plan.status();
+    QuerySetup setup;
+    setup.catalog = std::move(graph.catalog);
+    setup.plan = std::move(plan.value());
+    return setup;
+  }
+
+  // Random bushy shaping: repeatedly join two random roots of the forest.
+  Rng rng(config.seed);
+  QuerySetup setup;
+  setup.catalog = RandomCatalog(config, rng);
+
+  struct Root {
+    NodeId node;
+    SourceId carrier;   // deep probe leaf whose fields flow upward
+    double est_card;
+  };
+  std::vector<Root> roots;
+  std::vector<int> fields_used(static_cast<size_t>(config.num_sources), 0);
+  for (SourceId s = 0; s < config.num_sources; ++s) {
+    NodeId node = setup.plan.AddScan(s);
+    double card =
+        static_cast<double>(setup.catalog.source(s).relation.cardinality);
+    if (config.num_sources > 1 && rng.Bernoulli(config.filter_probability)) {
+      const double sel =
+          config.min_selectivity +
+          rng.NextDouble() * (config.max_selectivity - config.min_selectivity);
+      node = setup.plan.AddFilter(node, sel);
+      card *= sel;
+    }
+    roots.push_back({node, s, card});
+  }
+
+  // Takes the carrier's next free key field; once the four slots are
+  // exhausted the last field is reused (its domain gets overwritten, which
+  // shifts that earlier join's effective selectivity but never its
+  // correctness — see the header's note on deep probe chains).
+  auto take_field = [&](SourceId carrier) {
+    int& used = fields_used[static_cast<size_t>(carrier)];
+    if (used < storage::kTupleKeyFields) return used++;
+    return storage::kTupleKeyFields - 1;
+  };
+
+  while (roots.size() > 1) {
+    // Prefer pairs whose carriers both have free key fields; fall back to
+    // field reuse when the shape has depleted them.
+    size_t i = 0, j = 0;
+    bool oriented = false;
+    size_t bi = 0, pi = 0;
+    for (int tries = 0; tries < 128 && !oriented; ++tries) {
+      i = static_cast<size_t>(rng.Uniform(roots.size()));
+      j = static_cast<size_t>(rng.Uniform(roots.size()));
+      if (i == j) continue;
+      const bool i_free = fields_used[static_cast<size_t>(
+                              roots[i].carrier)] < storage::kTupleKeyFields;
+      const bool j_free = fields_used[static_cast<size_t>(
+                              roots[j].carrier)] < storage::kTupleKeyFields;
+      if (tries < 96 && (!i_free || !j_free)) continue;
+      // Random build/probe orientation.
+      if (rng.Bernoulli(0.5)) {
+        bi = i;
+        pi = j;
+      } else {
+        bi = j;
+        pi = i;
+      }
+      oriented = true;
+    }
+    if (!oriented) {
+      // Degenerate randomness (e.g. two roots left, i==j repeatedly).
+      bi = 0;
+      pi = 1;
+    }
+    const Root build = roots[bi];
+    const Root probe = roots[pi];
+    const int bf = take_field(build.carrier);
+    const int pf = take_field(probe.carrier);
+    const int64_t domain = PickDomain(config, rng, build.est_card);
+    setup.catalog.source(build.carrier)
+        .relation.key_domain[static_cast<size_t>(bf)] = domain;
+    setup.catalog.source(probe.carrier)
+        .relation.key_domain[static_cast<size_t>(pf)] = domain;
+
+    Root merged;
+    merged.node = setup.plan.AddHashJoin(build.node, probe.node, bf, pf);
+    merged.carrier = probe.carrier;
+    merged.est_card =
+        probe.est_card * (build.est_card / static_cast<double>(domain));
+    // Erase the two roots (higher index first) and push the merge.
+    if (bi < pi) std::swap(bi, pi);
+    roots.erase(roots.begin() + static_cast<long>(bi));
+    roots.erase(roots.begin() + static_cast<long>(pi));
+    roots.push_back(merged);
+  }
+  setup.plan.SetRoot(roots.front().node);
+  DQS_RETURN_IF_ERROR(setup.plan.Validate(setup.catalog));
+  return setup;
+}
+
+}  // namespace dqsched::plan

@@ -1,0 +1,59 @@
+// Random query generation, in the spirit of the paper's methodology:
+// "The query was generated using the algorithm of [14] and optimized in a
+// classical dynamic programming query optimizer" (Section 5.1.1).
+//
+// Two entry points:
+//  * GenerateJoinGraph — a random acyclic (tree-shaped) join graph over
+//    randomly sized relations, the input a query optimizer expects;
+//  * GenerateBushyQuery — a complete random bushy plan + catalog, either
+//    by random tree shaping or by running the DP optimizer of
+//    plan/optimizer.h over a generated join graph.
+//
+// All shapes/cardinalities/domains derive deterministically from the seed.
+
+#ifndef DQSCHED_PLAN_QUERY_GENERATOR_H_
+#define DQSCHED_PLAN_QUERY_GENERATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "plan/canonical_plans.h"
+#include "plan/optimizer.h"
+
+namespace dqsched::plan {
+
+/// Tunables for random query generation.
+struct GeneratorConfig {
+  int num_sources = 5;
+  int64_t min_cardinality = 2000;
+  int64_t max_cardinality = 30000;
+  /// Mean uniform delay of every generated wrapper, microseconds.
+  double mean_delay_us = 20.0;
+  /// Probability that a scan is topped by a filter.
+  double filter_probability = 0.3;
+  double min_selectivity = 0.3;
+  double max_selectivity = 0.9;
+  /// Expected per-probe fanout is drawn uniformly from this range; keeps
+  /// intermediate results within a small factor of their probe input.
+  double min_fanout = 0.5;
+  double max_fanout = 1.3;
+  uint64_t seed = 1;
+};
+
+/// Generates a catalog plus a tree-shaped join graph over it.
+struct GeneratedGraph {
+  wrapper::Catalog catalog;
+  std::vector<JoinEdge> edges;
+};
+GeneratedGraph GenerateJoinGraph(const GeneratorConfig& config);
+
+/// Generates a complete random bushy query. With `use_optimizer` the plan
+/// comes from the DP optimizer over a random join graph (the paper's
+/// pipeline); otherwise the tree shape itself is random.
+Result<QuerySetup> GenerateBushyQuery(const GeneratorConfig& config,
+                                      bool use_optimizer = false);
+
+}  // namespace dqsched::plan
+
+#endif  // DQSCHED_PLAN_QUERY_GENERATOR_H_

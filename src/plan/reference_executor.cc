@@ -1,0 +1,85 @@
+#include "plan/reference_executor.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace dqsched::plan {
+
+ReferenceResult ExecuteReference(const CompiledPlan& compiled,
+                                 const std::vector<storage::Relation>& data) {
+  using storage::Tuple;
+  ReferenceResult out;
+  out.chains.resize(static_cast<size_t>(compiled.num_chains()));
+  out.op_outputs.resize(static_cast<size_t>(compiled.num_chains()));
+
+  // Per join: the materialized build operand and its key index.
+  std::vector<std::vector<Tuple>> operands(
+      static_cast<size_t>(compiled.num_joins));
+  std::vector<std::unordered_multimap<int64_t, size_t>> indexes(
+      static_cast<size_t>(compiled.num_joins));
+
+  for (ChainId id : compiled.IteratorModelOrder()) {
+    const ChainInfo& chain = compiled.chain(id);
+    DQS_CHECK_MSG(static_cast<size_t>(chain.source) < data.size(),
+                  "no data for source %d", chain.source);
+    const std::vector<Tuple>& input =
+        data[static_cast<size_t>(chain.source)].tuples;
+    out.chains[static_cast<size_t>(id)].input_card =
+        static_cast<int64_t>(input.size());
+
+    std::vector<Tuple> cur(input);
+    for (const ChainOp& op : chain.ops) {
+      std::vector<Tuple> next;
+      switch (op.kind) {
+        case ChainOpKind::kFilter:
+          next.reserve(cur.size());
+          for (const Tuple& t : cur) {
+            if (storage::FilterPasses(t.rowid, op.node, op.selectivity)) {
+              next.push_back(t);
+            }
+          }
+          break;
+        case ChainOpKind::kProbe: {
+          const auto& operand = operands[static_cast<size_t>(op.join)];
+          const auto& index = indexes[static_cast<size_t>(op.join)];
+          for (const Tuple& t : cur) {
+            const int64_t key =
+                t.keys[static_cast<size_t>(op.probe_key_field)];
+            auto [lo, hi] = index.equal_range(key);
+            for (auto it = lo; it != hi; ++it) {
+              Tuple r = t;  // probe-side fields carry through
+              r.rowid = storage::CombineRowid(operand[it->second].rowid,
+                                              t.rowid);
+              next.push_back(r);
+            }
+          }
+          break;
+        }
+      }
+      cur = std::move(next);
+      out.op_outputs[static_cast<size_t>(id)].push_back(
+          static_cast<int64_t>(cur.size()));
+    }
+
+    out.chains[static_cast<size_t>(id)].output_card =
+        static_cast<int64_t>(cur.size());
+    if (chain.is_result) {
+      for (const Tuple& t : cur) out.checksum.Add(t);
+      out.result_card = static_cast<int64_t>(cur.size());
+    } else {
+      const int field =
+          compiled.join_build_field[static_cast<size_t>(chain.sink_join)];
+      auto& operand = operands[static_cast<size_t>(chain.sink_join)];
+      auto& index = indexes[static_cast<size_t>(chain.sink_join)];
+      operand = std::move(cur);
+      index.reserve(operand.size());
+      for (size_t i = 0; i < operand.size(); ++i) {
+        index.emplace(operand[i].keys[static_cast<size_t>(field)], i);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dqsched::plan

@@ -1,0 +1,43 @@
+// Reference (oracle) executor: evaluates a compiled plan directly over
+// generated relations, with no simulation, producing exact per-chain
+// cardinalities and the exact result multiset checksum.
+//
+// Used for (a) answer verification of every strategy, and (b) the exact
+// n_p values the analytic lower bound LWB needs (paper Section 5.1.2).
+
+#ifndef DQSCHED_PLAN_REFERENCE_EXECUTOR_H_
+#define DQSCHED_PLAN_REFERENCE_EXECUTOR_H_
+
+#include <vector>
+
+#include "plan/compiled_plan.h"
+#include "storage/relation.h"
+#include "storage/tuple.h"
+
+namespace dqsched::plan {
+
+/// Exact input/output cardinalities of one chain.
+struct ExactChainStats {
+  int64_t input_card = 0;
+  int64_t output_card = 0;
+};
+
+/// Exact execution facts of a query over concrete data.
+struct ReferenceResult {
+  /// Indexed by chain id.
+  std::vector<ExactChainStats> chains;
+  /// Exact cardinality after each op of each chain (outer index: chain id;
+  /// inner: op position). Drives the exact-CPU term of the lower bound.
+  std::vector<std::vector<int64_t>> op_outputs;
+  int64_t result_card = 0;
+  storage::ResultChecksum checksum;
+};
+
+/// Evaluates `compiled` over `data` (indexed by SourceId). Every strategy
+/// must reproduce `checksum` exactly.
+ReferenceResult ExecuteReference(const CompiledPlan& compiled,
+                                 const std::vector<storage::Relation>& data);
+
+}  // namespace dqsched::plan
+
+#endif  // DQSCHED_PLAN_REFERENCE_EXECUTOR_H_

@@ -1,0 +1,129 @@
+// The simulation cost model: Table 1 of the paper, plus the derived
+// per-operation virtual-time costs used by every component.
+//
+// The paper evaluates its prototype by fully implementing the execution
+// strategies while *simulating* operator, I/O, and network costs ("a
+// performance evaluation methodology similar to [3]"). This struct is the
+// single source of truth for those costs.
+
+#ifndef DQSCHED_SIM_COST_MODEL_H_
+#define DQSCHED_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+
+namespace dqsched::sim {
+
+/// Simulation parameters (paper Table 1) with the paper's default values.
+/// All fields are public so experiments can tweak them; call Validate()
+/// after mutation.
+struct CostModel {
+  // --- Table 1, verbatim -------------------------------------------------
+  /// Mediator CPU speed, million instructions per second.
+  double cpu_mips = 100.0;
+  /// Positioning overhead of a non-sequential disk access (rotational
+  /// latency component), milliseconds.
+  double disk_latency_ms = 17.0;
+  /// Seek-time component of a non-sequential disk access, milliseconds.
+  double disk_seek_ms = 5.0;
+  /// Sequential disk transfer rate, megabytes (1e6 bytes) per second.
+  double disk_transfer_mb_s = 6.0;
+  /// Size of the disk I/O cache, in pages.
+  int io_cache_pages = 8;
+  /// CPU instructions consumed to issue one I/O.
+  int64_t instr_per_io = 3000;
+  /// Number of local disks at the mediator.
+  int num_disks = 1;
+  /// Tuple size in bytes.
+  int tuple_size_bytes = 40;
+  /// Page size in bytes.
+  int page_size_bytes = 8192;
+  /// CPU instructions to move a tuple between operators.
+  int64_t instr_move_tuple = 100;
+  /// CPU instructions to search for a match in a hash table.
+  int64_t instr_hash_probe = 100;
+  /// CPU instructions to produce one result tuple.
+  int64_t instr_produce_result = 50;
+  /// Network bandwidth, megabits (1e6 bits) per second.
+  double network_mb_s = 100.0;
+  /// CPU instructions to send or receive one network message.
+  int64_t instr_per_message = 200000;
+
+  // --- dqsched additions (documented substitutions; see DESIGN.md) -------
+  /// Bytes a hash-index entry adds on top of the stored tuple (slot key +
+  /// index, at a load factor of ~0.5). Used for memory accounting of build
+  /// operands.
+  int64_t hash_index_entry_bytes = 32;
+  /// Tuples batched into one network message. One page's worth by default,
+  /// which reproduces the paper's w_min ~= 20 us derivation.
+  int tuples_per_message = 204;
+  /// Pages written/read per contiguous disk chunk for temp relations.
+  /// Amortizes seek+latency so that per-tuple materialization cost is
+  /// transfer-dominated, as assumed by the paper's bmi formula.
+  int disk_chunk_pages = 64;
+  /// CPU instructions to insert one tuple into a hash table (not in Table 1;
+  /// modeled like a probe).
+  int64_t instr_hash_insert = 100;
+
+  // --- Derived quantities -------------------------------------------------
+  /// Virtual time for `n` CPU instructions.
+  SimDuration InstrTime(int64_t n) const {
+    return static_cast<SimDuration>(static_cast<double>(n) * 1e3 / cpu_mips);
+  }
+
+  /// Whole tuples that fit on a page.
+  int TuplesPerPage() const { return page_size_bytes / tuple_size_bytes; }
+
+  /// Pages needed to store `tuples` tuples.
+  int64_t PagesForTuples(int64_t tuples) const {
+    const int per = TuplesPerPage();
+    return (tuples + per - 1) / per;
+  }
+
+  /// Time to transfer one page to/from disk (no positioning).
+  SimDuration PageTransferTime() const {
+    return static_cast<SimDuration>(page_size_bytes /
+                                    (disk_transfer_mb_s * 1e6) * 1e9);
+  }
+
+  /// Positioning cost of a non-sequential disk access (seek + latency).
+  SimDuration DiskPositionTime() const {
+    return Milliseconds(disk_latency_ms + disk_seek_ms);
+  }
+
+  /// Time on the wire for one tuple (payload only, overheads separate).
+  SimDuration NetworkTupleTime() const {
+    return static_cast<SimDuration>(tuple_size_bytes * 8 /
+                                    (network_mb_s * 1e6) * 1e9);
+  }
+
+  /// Mediator CPU charged per received tuple: the per-message
+  /// send/receive instruction cost amortized over the tuples in a message.
+  SimDuration ReceiveTupleCpuTime() const {
+    return InstrTime(instr_per_message / tuples_per_message);
+  }
+
+  /// Total memory charged per tuple of a resident, indexed build operand.
+  int64_t OperandEntryBytes() const {
+    return tuple_size_bytes + hash_index_entry_bytes;
+  }
+
+  /// Amortized disk time to read or write one tuple of a temp relation
+  /// sequentially (transfer + amortized positioning + per-I/O CPU). This is
+  /// the `IO_p` of the paper's benefit-materialization indicator.
+  SimDuration TupleIoTime() const;
+
+  /// The paper's w_min (Section 5.1.3): the minimum mean inter-tuple delay
+  /// of a wrapper that reads tuples sequentially from its local disk and
+  /// ships them over the network. ~20 us with the default parameters.
+  SimDuration MinWaitingTime() const;
+
+  /// Checks parameter sanity (positive rates, page >= tuple, ...).
+  Status Validate() const;
+};
+
+}  // namespace dqsched::sim
+
+#endif  // DQSCHED_SIM_COST_MODEL_H_

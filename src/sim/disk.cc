@@ -1,0 +1,30 @@
+#include "sim/disk.h"
+
+#include "common/macros.h"
+
+namespace dqsched::sim {
+
+SimDisk::IoResult SimDisk::Transfer(SimTime now, int64_t stream_id,
+                                    int64_t pages, bool is_write) {
+  DQS_CHECK_MSG(pages > 0, "Transfer of %lld pages",
+                static_cast<long long>(pages));
+  const SimTime start = FreeAt(now);
+  SimDuration cost = 0;
+  if (stream_id != last_stream_) {
+    cost += cost_->DiskPositionTime();
+    ++stats_.positionings;
+    last_stream_ = stream_id;
+  }
+  cost += pages * cost_->PageTransferTime();
+  busy_until_ = start + cost;
+  stats_.busy += cost;
+  ++stats_.io_calls;
+  if (is_write) {
+    stats_.pages_written += pages;
+  } else {
+    stats_.pages_read += pages;
+  }
+  return IoResult{busy_until_};
+}
+
+}  // namespace dqsched::sim

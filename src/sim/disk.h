@@ -1,0 +1,76 @@
+// Simulated local disk at the mediator.
+//
+// Model: a single server (per Table 1, one local disk) with a busy-until
+// queue. Transfers within one stream are sequential and cost transfer time
+// only; switching streams costs one positioning (seek + rotational latency).
+// Temp relations are read/written in multi-page chunks (CostModel::
+// disk_chunk_pages) so positioning is amortized, matching the
+// transfer-dominated per-tuple I/O cost the paper's bmi formula assumes.
+//
+// Writes may be asynchronous (write-behind): the caller's CPU continues
+// while the disk works. Reads may be asynchronous too (prefetch), in which
+// case the caller learns the completion time and overlaps CPU with I/O —
+// the paper's assumption for complement fragments ("asynchronous I/O").
+
+#ifndef DQSCHED_SIM_DISK_H_
+#define DQSCHED_SIM_DISK_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "sim/cost_model.h"
+
+namespace dqsched::sim {
+
+/// Statistics accumulated by a SimDisk over one execution.
+struct DiskStats {
+  int64_t pages_read = 0;
+  int64_t pages_written = 0;
+  int64_t positionings = 0;  // non-sequential accesses (seek+latency paid)
+  int64_t io_calls = 0;      // Transfer() invocations
+  SimDuration busy = 0;      // total time the disk arm was busy
+};
+
+/// Single simulated disk with stream-aware sequential/positioned accesses.
+class SimDisk {
+ public:
+  explicit SimDisk(const CostModel* cost) : cost_(cost) {}
+
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  /// Outcome of one Transfer call.
+  struct IoResult {
+    /// When the transferred data is durable (write) or available (read).
+    SimTime data_done = 0;
+  };
+
+  /// Transfers `pages` pages of stream `stream_id` starting no earlier than
+  /// `now`. The caller is responsible for charging the per-I/O CPU
+  /// instructions (CostModel::instr_per_io, once per call) to the mediator
+  /// clock; the disk only accounts for arm time.
+  IoResult Transfer(SimTime now, int64_t stream_id, int64_t pages,
+                    bool is_write);
+
+  /// First time at or after `now` at which the disk arm is free.
+  SimTime FreeAt(SimTime now) const { return busy_until_ > now ? busy_until_ : now; }
+
+  const DiskStats& stats() const { return stats_; }
+
+  /// Clears accumulated state between runs.
+  void Reset() {
+    busy_until_ = 0;
+    last_stream_ = -1;
+    stats_ = DiskStats{};
+  }
+
+ private:
+  const CostModel* cost_;
+  SimTime busy_until_ = 0;
+  int64_t last_stream_ = -1;
+  DiskStats stats_;
+};
+
+}  // namespace dqsched::sim
+
+#endif  // DQSCHED_SIM_DISK_H_

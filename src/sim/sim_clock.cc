@@ -1,0 +1,4 @@
+#include "sim/sim_clock.h"
+
+// SimClock is header-only; this translation unit anchors the header for the
+// build system and keeps a place for future out-of-line additions.

@@ -1,0 +1,63 @@
+// The mediator's virtual clock. Single-threaded discrete-event simulation:
+// the query processor is the only driver; it advances the clock by charging
+// CPU time and by waiting for arrivals / disk completions.
+
+#ifndef DQSCHED_SIM_SIM_CLOCK_H_
+#define DQSCHED_SIM_SIM_CLOCK_H_
+
+#include "common/macros.h"
+#include "common/sim_time.h"
+
+namespace dqsched::sim {
+
+/// Monotonic virtual clock with separate accounting of busy vs stalled time.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimTime now() const { return now_; }
+
+  /// Advances by `d` of *busy* time (CPU work, synchronous I/O waits).
+  void Advance(SimDuration d) {
+    DQS_CHECK_MSG(d >= 0, "negative advance %lld", static_cast<long long>(d));
+    now_ += d;
+    busy_ += d;
+  }
+
+  /// Advances to absolute time `t` as *stall* time (query engine idle,
+  /// waiting for data). No-op if `t` is in the past.
+  void StallUntil(SimTime t) {
+    if (t <= now_) return;
+    stalled_ += t - now_;
+    now_ = t;
+  }
+
+  /// Advances to absolute time `t` as busy time (e.g. synchronous disk
+  /// completion later than now). No-op if `t` is in the past.
+  void BusyUntil(SimTime t) {
+    if (t <= now_) return;
+    busy_ += t - now_;
+    now_ = t;
+  }
+
+  /// Total virtual time spent doing useful work.
+  SimDuration busy_time() const { return busy_; }
+  /// Total virtual time spent stalled waiting for data.
+  SimDuration stalled_time() const { return stalled_; }
+
+  /// Resets to time zero (between strategy runs).
+  void Reset() {
+    now_ = 0;
+    busy_ = 0;
+    stalled_ = 0;
+  }
+
+ private:
+  SimTime now_ = 0;
+  SimDuration busy_ = 0;
+  SimDuration stalled_ = 0;
+};
+
+}  // namespace dqsched::sim
+
+#endif  // DQSCHED_SIM_SIM_CLOCK_H_

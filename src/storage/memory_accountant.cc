@@ -1,0 +1,30 @@
+#include "storage/memory_accountant.h"
+
+#include "common/macros.h"
+
+namespace dqsched::storage {
+
+Status MemoryAccountant::Grant(int64_t bytes) {
+  DQS_CHECK_MSG(bytes >= 0, "negative grant %lld",
+                static_cast<long long>(bytes));
+  if (granted_ + bytes > budget_) {
+    return Status::ResourceExhausted("memory grant of " +
+                                     std::to_string(bytes) +
+                                     " bytes exceeds budget (granted " +
+                                     std::to_string(granted_) + " of " +
+                                     std::to_string(budget_) + ")");
+  }
+  granted_ += bytes;
+  if (granted_ > peak_) peak_ = granted_;
+  return Status::Ok();
+}
+
+void MemoryAccountant::Release(int64_t bytes) {
+  DQS_CHECK_MSG(bytes >= 0 && bytes <= granted_,
+                "release %lld with granted %lld",
+                static_cast<long long>(bytes),
+                static_cast<long long>(granted_));
+  granted_ -= bytes;
+}
+
+}  // namespace dqsched::storage

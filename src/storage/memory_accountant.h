@@ -1,0 +1,50 @@
+// Memory accounting for the mediator's query execution.
+//
+// The scheduler's M-schedulability test and the scheduling plan's memory
+// admission (paper Sections 4.1-4.2) both consult this accountant: the
+// total budget models "the total available memory for the query execution,
+// which is assumed not to change during the query execution" (Section 3.3).
+
+#ifndef DQSCHED_STORAGE_MEMORY_ACCOUNTANT_H_
+#define DQSCHED_STORAGE_MEMORY_ACCOUNTANT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace dqsched::storage {
+
+/// Tracks grants against a fixed byte budget. Single-threaded.
+class MemoryAccountant {
+ public:
+  explicit MemoryAccountant(int64_t budget_bytes) : budget_(budget_bytes) {}
+
+  /// Attempts to reserve `bytes`. Fails with kResourceExhausted (and grants
+  /// nothing) when the budget would be exceeded.
+  Status Grant(int64_t bytes);
+
+  /// Returns a previous grant. Aborts if more is released than was granted
+  /// (a library bug).
+  void Release(int64_t bytes);
+
+  int64_t budget() const { return budget_; }
+  int64_t granted() const { return granted_; }
+  int64_t available() const { return budget_ - granted_; }
+  /// Largest `granted()` ever observed; the memory-safety invariant tests
+  /// assert peak() <= budget().
+  int64_t peak() const { return peak_; }
+
+  void Reset() {
+    granted_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  int64_t budget_;
+  int64_t granted_ = 0;
+  int64_t peak_ = 0;
+};
+
+}  // namespace dqsched::storage
+
+#endif  // DQSCHED_STORAGE_MEMORY_ACCOUNTANT_H_

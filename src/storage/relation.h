@@ -1,0 +1,52 @@
+// In-memory relations and synthetic data generation.
+//
+// A relation's content is fully determined by a RelationSpec and a seed:
+// key field f of every tuple is uniform over [0, key_domain[f]), and the
+// rowid encodes (source id, sequence number). Join selectivities are
+// therefore controlled by key domains: probing a build side of cardinality
+// n_b on a shared domain D yields an expected fanout of n_b / D per probe
+// tuple.
+
+#ifndef DQSCHED_STORAGE_RELATION_H_
+#define DQSCHED_STORAGE_RELATION_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/random.h"
+#include "storage/tuple.h"
+
+namespace dqsched::storage {
+
+/// Static description of a base relation's data distribution.
+struct RelationSpec {
+  std::string name;
+  int64_t cardinality = 0;
+  /// Domain size of each key field; fields with domain <= 1 always hold 0
+  /// (unused by any join).
+  std::array<int64_t, kTupleKeyFields> key_domain = {1, 1, 1, 1};
+};
+
+/// Materialized relation instance.
+struct Relation {
+  std::string name;
+  std::vector<Tuple> tuples;
+
+  int64_t cardinality() const { return static_cast<int64_t>(tuples.size()); }
+};
+
+/// Encodes a globally unique rowid for tuple `seq` of source `source`.
+inline uint64_t MakeRowid(SourceId source, int64_t seq) {
+  return (static_cast<uint64_t>(source) << 40) | static_cast<uint64_t>(seq);
+}
+
+/// Generates the relation described by `spec` deterministically from `rng`.
+/// `source` tags the rowids.
+Relation GenerateRelation(const RelationSpec& spec, SourceId source, Rng rng);
+
+}  // namespace dqsched::storage
+
+#endif  // DQSCHED_STORAGE_RELATION_H_

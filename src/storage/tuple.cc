@@ -1,0 +1,3 @@
+#include "storage/tuple.h"
+
+// Tuple helpers are header-only; this file anchors the header in the build.

@@ -1,0 +1,83 @@
+// The 40-byte tuple of the paper's simulation (Table 1), made concrete.
+//
+// Unlike the paper's prototype — which simulated operators without data —
+// dqsched moves real tuples through real hash joins so that end-to-end
+// answer correctness is testable. A tuple carries four join-key attributes
+// and a provenance fingerprint ("rowid") that composes through joins,
+// giving every strategy an order-independent result checksum to agree on.
+
+#ifndef DQSCHED_STORAGE_TUPLE_H_
+#define DQSCHED_STORAGE_TUPLE_H_
+
+#include <cstdint>
+
+namespace dqsched::storage {
+
+/// Number of join-key attributes per tuple.
+inline constexpr int kTupleKeyFields = 4;
+
+/// A 40-byte record: 4 x 8-byte keys + 8-byte provenance fingerprint.
+struct Tuple {
+  int64_t keys[kTupleKeyFields] = {0, 0, 0, 0};
+  uint64_t rowid = 0;
+};
+static_assert(sizeof(Tuple) == 40, "Tuple must match Table 1's tuple size");
+
+/// 64-bit finalizer (splitmix64-style). Used for filter predicates,
+/// checksums, and rowid composition.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Deterministic, order-sensitive combination of two provenance ids; the
+/// result of joining build tuple `b` with probe tuple `p` carries
+/// CombineRowid(b.rowid, p.rowid). All strategies perform the same logical
+/// joins, so result multisets are comparable via checksums.
+inline uint64_t CombineRowid(uint64_t build, uint64_t probe) {
+  return Mix64(build * 0x9e3779b97f4a7c15ULL + probe + 0x165667b19e3779f9ULL);
+}
+
+/// Deterministic pseudo-predicate: true with probability `selectivity` for
+/// a given (rowid, filter id) pair, identical across strategies and the
+/// reference executor.
+inline bool FilterPasses(uint64_t rowid, int32_t filter_id,
+                         double selectivity) {
+  const uint64_t h = Mix64(rowid ^ (0x51ed2701d3c0ffeeULL +
+                                    static_cast<uint64_t>(filter_id) *
+                                        0x2545f4914f6cdd1dULL));
+  // Compare against selectivity scaled to the full 64-bit range.
+  return static_cast<double>(h) <
+         selectivity * 18446744073709551616.0 /* 2^64 */;
+}
+
+/// Order-independent multiset checksum accumulator for result verification.
+class ResultChecksum {
+ public:
+  /// Adds one tuple to the multiset.
+  void Add(const Tuple& t) {
+    uint64_t h = Mix64(t.rowid + 0x9e3779b97f4a7c15ULL);
+    for (int64_t k : t.keys) h += Mix64(static_cast<uint64_t>(k) ^ h);
+    sum_ += h;
+    ++count_;
+  }
+
+  uint64_t value() const { return sum_; }
+  int64_t count() const { return count_; }
+
+  friend bool operator==(const ResultChecksum& a, const ResultChecksum& b) {
+    return a.sum_ == b.sum_ && a.count_ == b.count_;
+  }
+
+ private:
+  uint64_t sum_ = 0;  // commutative: independent of tuple arrival order
+  int64_t count_ = 0;
+};
+
+}  // namespace dqsched::storage
+
+#endif  // DQSCHED_STORAGE_TUPLE_H_

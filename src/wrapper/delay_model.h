@@ -1,0 +1,78 @@
+// Per-tuple delivery-delay models for simulated wrappers.
+//
+// The paper defines three problematic delay classes (Section 1.2, after
+// [2]): initial delay, bursty arrival, and slow delivery, and evaluates its
+// own strategy with per-tuple delays uniformly distributed in [0, 2w]
+// (Section 5.1.3). All four are implemented here, plus a constant model for
+// deterministic unit tests.
+
+#ifndef DQSCHED_WRAPPER_DELAY_MODEL_H_
+#define DQSCHED_WRAPPER_DELAY_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+
+namespace dqsched::wrapper {
+
+/// Which delay model a source uses.
+enum class DelayKind {
+  kConstant,  // exactly mean_us between tuples
+  kUniform,   // uniform in [0, 2*mean_us] (the paper's experiments)
+  kInitial,   // one long initial delay, then uniform at mean_us
+  kBursty,    // bursts of fast tuples separated by long silent gaps
+  kSlow,      // uniform, scaled by slow_factor (slow-delivery problem)
+};
+
+const char* DelayKindName(DelayKind kind);
+
+/// Value-type configuration of a source's delay behaviour. Lives in the
+/// catalog so query setups are copyable and serializable.
+struct DelayConfig {
+  DelayKind kind = DelayKind::kUniform;
+  /// Mean inter-tuple time (the paper's `w`), microseconds. For kSlow this
+  /// is the pre-slowdown base.
+  double mean_us = 20.0;
+  /// kInitial: delay before the first tuple, milliseconds.
+  double initial_delay_ms = 0.0;
+  /// kBursty: tuples per burst.
+  int64_t burst_length = 1000;
+  /// kBursty: silent gap between bursts, milliseconds (drawn exponential
+  /// with this mean). Intra-burst spacing uses mean_us.
+  double burst_gap_ms = 50.0;
+  /// kSlow: multiplier applied to mean_us.
+  double slow_factor = 1.0;
+
+  Status Validate() const;
+};
+
+/// Stateful sampler of inter-tuple delays. One instance per wrapper per
+/// execution; deterministic given (config, seed).
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Delay between tuple `index`-1 and tuple `index` (index 0 = delay from
+  /// query start to the first tuple).
+  virtual SimDuration NextDelay(int64_t index, Rng& rng) = 0;
+
+  /// Analytic mean inter-tuple delay, for the scheduler's priors and the
+  /// LWB computation.
+  virtual double MeanDelayNs() const = 0;
+
+  /// Analytic expected total time to deliver `n` tuples. Defaults to
+  /// n * mean; overridden where the first tuple is special.
+  virtual double ExpectedTotalNs(int64_t n) const {
+    return static_cast<double>(n) * MeanDelayNs();
+  }
+};
+
+/// Instantiates the sampler for `config`. `config` must validate.
+std::unique_ptr<DelayModel> MakeDelayModel(const DelayConfig& config);
+
+}  // namespace dqsched::wrapper
+
+#endif  // DQSCHED_WRAPPER_DELAY_MODEL_H_

@@ -1,0 +1,67 @@
+#include "wrapper/wrapper.h"
+
+#include "common/macros.h"
+
+namespace dqsched::wrapper {
+
+SimWrapper::SimWrapper(SourceId id, const storage::Relation* relation,
+                       const DelayConfig& delay, uint64_t seed)
+    : id_(id),
+      relation_(relation),
+      model_(MakeDelayModel(delay)),
+      rng_(seed) {
+  DQS_CHECK(relation_ != nullptr);
+  if (!Exhausted()) {
+    next_ready_ = model_->NextDelay(0, rng_);
+  }
+}
+
+void SimWrapper::PumpInto(comm::TupleQueue& queue, SimTime now,
+                          ArrivalObserver* observer) {
+  if (Exhausted()) {
+    // Covers empty relations, where the stream closes without any push.
+    if (!queue.producer_closed()) queue.CloseProducer();
+    return;
+  }
+  bool resumed = false;
+  if (suspended_) {
+    if (queue.Full()) return;
+    // Resumption: the pending tuple enters at the drain time; it had been
+    // ready since next_ready_ — the difference is blocked time.
+    if (now > next_ready_) stats_.blocked += now - next_ready_;
+    next_ready_ = now > next_ready_ ? now : next_ready_;
+    suspended_ = false;
+    resumed = true;
+  }
+  while (next_index_ < cardinality() && next_ready_ <= now) {
+    if (queue.Full()) {
+      suspended_ = true;
+      return;
+    }
+    queue.Push(relation_->tuples[static_cast<size_t>(next_index_)]);
+    if (observer != nullptr) {
+      // The first post-suspension gap reflects mediator backpressure, not
+      // the source's delivery rate: advance the observer without sampling.
+      if (resumed) {
+        observer->OnArrivalSuppressed(next_ready_);
+        resumed = false;
+      } else {
+        observer->OnArrival(next_ready_);
+      }
+    }
+    ++stats_.tuples_delivered;
+    stats_.finished_at = next_ready_;
+    ++next_index_;
+    if (next_index_ < cardinality()) {
+      next_ready_ += model_->NextDelay(next_index_, rng_);
+    }
+  }
+  if (Exhausted() && !queue.producer_closed()) queue.CloseProducer();
+}
+
+SimTime SimWrapper::NextArrival() const {
+  if (Exhausted() || suspended_) return kSimTimeNever;
+  return next_ready_;
+}
+
+}  // namespace dqsched::wrapper

@@ -1,0 +1,97 @@
+// Simulated wrapper (remote data source).
+//
+// A wrapper owns (a pointer to) its relation's tuples and a delay model.
+// It produces tuple i at virtual time r_i = r_{i-1} + d_i, where d_i is
+// drawn from the delay model — unless the destination queue is full, in
+// which case production suspends (window protocol) and resumes from the
+// moment the mediator drains the queue.
+
+#ifndef DQSCHED_WRAPPER_WRAPPER_H_
+#define DQSCHED_WRAPPER_WRAPPER_H_
+
+#include <memory>
+
+#include "comm/tuple_queue.h"
+#include "common/ids.h"
+#include "common/random.h"
+#include "common/sim_time.h"
+#include "storage/relation.h"
+#include "wrapper/delay_model.h"
+
+namespace dqsched::wrapper {
+
+/// Receives the virtual arrival timestamp of every tuple a wrapper pushes.
+/// Implemented by the communication manager's rate estimators.
+class ArrivalObserver {
+ public:
+  virtual ~ArrivalObserver() = default;
+  virtual void OnArrival(SimTime t) = 0;
+  /// A tuple entered the queue at `t` after a window-protocol suspension:
+  /// its gap measures the mediator's backpressure, not the source's rate,
+  /// so rate estimators advance their reference time without sampling.
+  virtual void OnArrivalSuppressed(SimTime t) { (void)t; }
+};
+
+/// Per-wrapper delivery statistics.
+struct WrapperStats {
+  int64_t tuples_delivered = 0;
+  /// Virtual time production spent suspended on a full queue.
+  SimDuration blocked = 0;
+  /// When the last tuple entered the queue.
+  SimTime finished_at = 0;
+};
+
+/// One simulated source feeding one TupleQueue.
+class SimWrapper {
+ public:
+  /// `relation` must outlive the wrapper. Production of the first tuple is
+  /// scheduled from time 0 using the delay model.
+  SimWrapper(SourceId id, const storage::Relation* relation,
+             const DelayConfig& delay, uint64_t seed);
+
+  SimWrapper(const SimWrapper&) = delete;
+  SimWrapper& operator=(const SimWrapper&) = delete;
+
+  SourceId id() const { return id_; }
+  int64_t cardinality() const { return relation_->cardinality(); }
+  /// Tuples not yet pushed into the queue.
+  int64_t remaining() const { return cardinality() - next_index_; }
+  bool Exhausted() const { return next_index_ >= cardinality(); }
+
+  /// Delivers every tuple whose production time is <= `now` into `queue`,
+  /// stopping (suspended) if the queue fills. Call again after draining the
+  /// queue to resume production from the drain time. Closes the queue's
+  /// producer side after the last tuple. `observer` (may be null) sees each
+  /// tuple's arrival timestamp.
+  void PumpInto(comm::TupleQueue& queue, SimTime now,
+                ArrivalObserver* observer = nullptr);
+
+  /// Earliest virtual time the next tuple can enter the queue given space,
+  /// or kSimTimeNever when exhausted or suspended (a suspended wrapper only
+  /// resumes via PumpInto after a drain, and its queue is non-empty by
+  /// definition).
+  SimTime NextArrival() const;
+
+  /// Analytic mean inter-tuple delay of this source (scheduler prior).
+  double MeanDelayNs() const { return model_->MeanDelayNs(); }
+  /// Analytic expected total delivery time for the full relation.
+  double ExpectedTotalNs() const {
+    return model_->ExpectedTotalNs(cardinality());
+  }
+
+  const WrapperStats& stats() const { return stats_; }
+
+ private:
+  SourceId id_;
+  const storage::Relation* relation_;
+  std::unique_ptr<DelayModel> model_;
+  Rng rng_;
+  int64_t next_index_ = 0;
+  SimTime next_ready_ = 0;
+  bool suspended_ = false;
+  WrapperStats stats_;
+};
+
+}  // namespace dqsched::wrapper
+
+#endif  // DQSCHED_WRAPPER_WRAPPER_H_

@@ -1,0 +1,193 @@
+// Annotation (estimates) and reference execution (exact) tests.
+
+#include <gtest/gtest.h>
+
+#include "plan/canonical_plans.h"
+#include "plan/compiled_plan.h"
+#include "plan/reference_executor.h"
+#include "sim/cost_model.h"
+#include "storage/relation.h"
+
+namespace dqsched::plan {
+namespace {
+
+CompiledPlan CompileAnnotated(const QuerySetup& setup) {
+  Result<CompiledPlan> compiled = Compile(setup.plan, setup.catalog);
+  EXPECT_TRUE(compiled.ok());
+  sim::CostModel cost;
+  EXPECT_TRUE(Annotate(&compiled.value(), setup.catalog, cost).ok());
+  return std::move(compiled.value());
+}
+
+std::vector<storage::Relation> MakeData(const wrapper::Catalog& catalog,
+                                        uint64_t seed) {
+  std::vector<storage::Relation> data;
+  for (SourceId s = 0; s < catalog.num_sources(); ++s) {
+    data.push_back(
+        storage::GenerateRelation(catalog.source(s).relation, s, Rng(seed + s)));
+  }
+  return data;
+}
+
+TEST(Annotator, InputCardsComeFromCatalog) {
+  const QuerySetup setup = PaperFigure5Query(0.1);
+  const CompiledPlan compiled = CompileAnnotated(setup);
+  for (const ChainInfo& chain : compiled.chains) {
+    EXPECT_DOUBLE_EQ(
+        chain.est_input_card,
+        static_cast<double>(
+            setup.catalog.source(chain.source).relation.cardinality));
+  }
+}
+
+TEST(Annotator, FanoutsProduceExpectedIntermediates) {
+  // Canonical domains: |J1| ~ |B|, |J2| ~ 4|F|, result ~ |C|.
+  const QuerySetup setup = PaperFigure5Query(1.0);
+  const CompiledPlan compiled = CompileAnnotated(setup);
+  auto output_of = [&](const char* name) {
+    const SourceId src = setup.catalog.Find(name);
+    for (const ChainInfo& chain : compiled.chains) {
+      if (chain.source == src) return chain.est_output_card;
+    }
+    return -1.0;
+  };
+  EXPECT_NEAR(output_of("B"), 100000, 100);   // |J1| ~ |B|
+  EXPECT_NEAR(output_of("F"), 40000, 100);    // |J2| ~ 4|F|
+  EXPECT_NEAR(output_of("D"), 100000, 2000);  // |J4| ~ |J3| ~ |D|
+  EXPECT_NEAR(output_of("C"), 200000, 5000);  // result ~ |C|
+}
+
+TEST(Annotator, CpuPerTupleIncludesReceiveFloor) {
+  const QuerySetup setup = PaperFigure5Query(0.1);
+  const CompiledPlan compiled = CompileAnnotated(setup);
+  sim::CostModel cost;
+  for (const ChainInfo& chain : compiled.chains) {
+    EXPECT_GE(chain.est_cpu_per_tuple_ns,
+              static_cast<double>(cost.ReceiveTupleCpuTime()));
+  }
+}
+
+TEST(Annotator, ProbeChainsNeedMemoryForTheirOperands) {
+  const QuerySetup setup = PaperFigure5Query(0.1);
+  const CompiledPlan compiled = CompileAnnotated(setup);
+  for (const ChainInfo& chain : compiled.chains) {
+    int probes = 0;
+    for (const ChainOp& op : chain.ops) {
+      probes += op.kind == ChainOpKind::kProbe;
+    }
+    if (probes > 0) {
+      EXPECT_GT(chain.est_mem_bytes, 0.0) << chain.name;
+      EXPECT_GT(chain.est_open_cpu_ns, 0.0) << chain.name;
+    } else {
+      EXPECT_DOUBLE_EQ(chain.est_mem_bytes, 0.0) << chain.name;
+    }
+  }
+}
+
+TEST(Annotator, SinkMemoryOnlyForOperandChains) {
+  const QuerySetup setup = PaperFigure5Query(0.1);
+  const CompiledPlan compiled = CompileAnnotated(setup);
+  for (const ChainInfo& chain : compiled.chains) {
+    if (chain.is_result) {
+      EXPECT_DOUBLE_EQ(chain.est_sink_mem_bytes, 0.0);
+    } else {
+      EXPECT_GT(chain.est_sink_mem_bytes, 0.0);
+    }
+  }
+}
+
+TEST(Reference, HandComputableJoin) {
+  // Build side: 4 tuples with keys {0,0,1,2}; probe side: keys {0,1,3}.
+  // Expected matches: probe 0 -> 2, probe 1 -> 1, probe 3 -> 0.
+  wrapper::Catalog catalog;
+  for (const char* name : {"Build", "Probe"}) {
+    wrapper::SourceSpec s;
+    s.relation.name = name;
+    s.relation.cardinality = 0;  // data injected manually below
+    catalog.sources.push_back(s);
+  }
+  Plan plan;
+  const NodeId b = plan.AddScan(0);
+  const NodeId p = plan.AddScan(1);
+  plan.SetRoot(plan.AddHashJoin(b, p, 0, 0));
+  Result<CompiledPlan> compiled = Compile(plan, catalog);
+  ASSERT_TRUE(compiled.ok());
+
+  std::vector<storage::Relation> data(2);
+  auto add = [&](int rel, int64_t key, uint64_t rowid) {
+    storage::Tuple t;
+    t.keys[0] = key;
+    t.rowid = rowid;
+    data[static_cast<size_t>(rel)].tuples.push_back(t);
+  };
+  add(0, 0, 1);
+  add(0, 0, 2);
+  add(0, 1, 3);
+  add(0, 2, 4);
+  add(1, 0, 10);
+  add(1, 1, 11);
+  add(1, 3, 12);
+
+  const ReferenceResult ref = ExecuteReference(*compiled, data);
+  EXPECT_EQ(ref.result_card, 3);
+  const auto& result_stats =
+      ref.chains[static_cast<size_t>(compiled->result_chain)];
+  EXPECT_EQ(result_stats.input_card, 3);
+  EXPECT_EQ(result_stats.output_card, 3);
+}
+
+TEST(Reference, ExactCardsTrackEstimatesOnCanonicalPlan) {
+  const QuerySetup setup = PaperFigure5Query(0.1);
+  const CompiledPlan compiled = CompileAnnotated(setup);
+  const auto data = MakeData(setup.catalog, 99);
+  const ReferenceResult ref = ExecuteReference(compiled, data);
+  for (const ChainInfo& chain : compiled.chains) {
+    const auto& exact = ref.chains[static_cast<size_t>(chain.id)];
+    EXPECT_EQ(exact.input_card, static_cast<int64_t>(chain.est_input_card));
+    // Estimates should be within 15% of actuals for uniform data.
+    EXPECT_NEAR(static_cast<double>(exact.output_card),
+                chain.est_output_card, chain.est_output_card * 0.15 + 20)
+        << chain.name;
+  }
+}
+
+TEST(Reference, OpOutputsHaveOneEntryPerOp) {
+  const QuerySetup setup = PaperFigure5Query(0.05);
+  const CompiledPlan compiled = CompileAnnotated(setup);
+  const auto data = MakeData(setup.catalog, 7);
+  const ReferenceResult ref = ExecuteReference(compiled, data);
+  for (const ChainInfo& chain : compiled.chains) {
+    EXPECT_EQ(ref.op_outputs[static_cast<size_t>(chain.id)].size(),
+              chain.ops.size());
+  }
+}
+
+TEST(Reference, DeterministicForSameData) {
+  const QuerySetup setup = TinyTwoSourceQuery();
+  Result<CompiledPlan> compiled = Compile(setup.plan, setup.catalog);
+  ASSERT_TRUE(compiled.ok());
+  const auto data = MakeData(setup.catalog, 5);
+  const ReferenceResult a = ExecuteReference(*compiled, data);
+  const ReferenceResult b = ExecuteReference(*compiled, data);
+  EXPECT_EQ(a.result_card, b.result_card);
+  EXPECT_TRUE(a.checksum == b.checksum);
+}
+
+TEST(Reference, FiltersApplyDeterministicPredicate) {
+  wrapper::Catalog catalog;
+  wrapper::SourceSpec s;
+  s.relation.name = "R";
+  s.relation.cardinality = 10000;
+  catalog.sources.push_back(s);
+  Plan plan;
+  plan.SetRoot(plan.AddFilter(plan.AddScan(0), 0.4));
+  Result<CompiledPlan> compiled = Compile(plan, catalog);
+  ASSERT_TRUE(compiled.ok());
+  std::vector<storage::Relation> data;
+  data.push_back(storage::GenerateRelation(s.relation, 0, Rng(1)));
+  const ReferenceResult ref = ExecuteReference(*compiled, data);
+  EXPECT_NEAR(static_cast<double>(ref.result_card), 4000.0, 200.0);
+}
+
+}  // namespace
+}  // namespace dqsched::plan

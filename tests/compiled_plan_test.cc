@@ -1,0 +1,175 @@
+// Pipeline-chain decomposition tests (paper Section 2.2 semantics).
+
+#include "plan/compiled_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "plan/canonical_plans.h"
+
+namespace dqsched::plan {
+namespace {
+
+const ChainInfo& ChainBySource(const CompiledPlan& compiled,
+                               const wrapper::Catalog& catalog,
+                               const std::string& name) {
+  const SourceId src = catalog.Find(name);
+  for (const ChainInfo& chain : compiled.chains) {
+    if (chain.source == src) return chain;
+  }
+  ADD_FAILURE() << "no chain for source " << name;
+  static ChainInfo dummy;
+  return dummy;
+}
+
+CompiledPlan CompileSetup(const QuerySetup& setup) {
+  Result<CompiledPlan> compiled = Compile(setup.plan, setup.catalog);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return std::move(compiled.value());
+}
+
+TEST(Compile, TinyQueryYieldsTwoChains) {
+  const QuerySetup setup = TinyTwoSourceQuery();
+  const CompiledPlan compiled = CompileSetup(setup);
+  ASSERT_EQ(compiled.num_chains(), 2);
+  ASSERT_EQ(compiled.num_joins, 1);
+  const ChainInfo& result = compiled.chain(compiled.result_chain);
+  EXPECT_TRUE(result.is_result);
+  EXPECT_EQ(result.ops.size(), 1u);  // the probe
+  EXPECT_EQ(result.ops[0].kind, ChainOpKind::kProbe);
+  ASSERT_EQ(result.blockers.size(), 1u);
+  const ChainInfo& build = compiled.chain(result.blockers[0]);
+  EXPECT_FALSE(build.is_result);
+  EXPECT_EQ(build.sink_join, result.ops[0].join);
+  EXPECT_TRUE(build.ops.empty());  // pure scan feeding the operand
+}
+
+TEST(Compile, PaperPlanHasSixChains) {
+  const QuerySetup setup = PaperFigure5Query(0.01);
+  const CompiledPlan compiled = CompileSetup(setup);
+  EXPECT_EQ(compiled.num_chains(), 6);
+  EXPECT_EQ(compiled.num_joins, 5);
+  // One chain per source, each named after it.
+  for (const char* name : {"A", "B", "C", "D", "E", "F"}) {
+    const ChainInfo& chain = ChainBySource(compiled, setup.catalog, name);
+    EXPECT_EQ(chain.name, std::string("p_") + name);
+  }
+}
+
+TEST(Compile, PaperPlanBlockingStructureMatchesDesign) {
+  // DESIGN.md: p_A -> p_B -> p_F -> p_D -> p_C and p_E -> p_D.
+  const QuerySetup setup = PaperFigure5Query(0.01);
+  const CompiledPlan compiled = CompileSetup(setup);
+  const auto& cat = setup.catalog;
+  auto blockers_of = [&](const char* name) {
+    std::vector<std::string> out;
+    for (ChainId b : ChainBySource(compiled, cat, name).blockers) {
+      out.push_back(compiled.chain(b).name);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_TRUE(blockers_of("A").empty());
+  EXPECT_TRUE(blockers_of("E").empty());
+  EXPECT_EQ(blockers_of("B"), std::vector<std::string>{"p_A"});
+  EXPECT_EQ(blockers_of("F"), std::vector<std::string>{"p_B"});
+  EXPECT_EQ(blockers_of("D"), (std::vector<std::string>{"p_E", "p_F"}));
+  EXPECT_EQ(blockers_of("C"), std::vector<std::string>{"p_D"});
+}
+
+TEST(Compile, AncestorsIsTransitiveClosure) {
+  const QuerySetup setup = PaperFigure5Query(0.01);
+  const CompiledPlan compiled = CompileSetup(setup);
+  const ChainInfo& pc = ChainBySource(compiled, setup.catalog, "C");
+  // ancestors*(p_C) = every other chain (p_C is the result chain).
+  EXPECT_EQ(compiled.Ancestors(pc.id).size(), 5u);
+  const ChainInfo& pa = ChainBySource(compiled, setup.catalog, "A");
+  EXPECT_TRUE(compiled.Ancestors(pa.id).empty());
+  const ChainInfo& pf = ChainBySource(compiled, setup.catalog, "F");
+  EXPECT_EQ(compiled.Ancestors(pf.id).size(), 2u);  // p_B, p_A
+}
+
+TEST(Compile, IteratorModelOrderRespectsBlocking) {
+  const QuerySetup setup = PaperFigure5Query(0.01);
+  const CompiledPlan compiled = CompileSetup(setup);
+  const auto order = compiled.IteratorModelOrder();
+  ASSERT_EQ(order.size(), 6u);
+  auto position = [&](ChainId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  for (const ChainInfo& chain : compiled.chains) {
+    for (ChainId b : chain.blockers) {
+      EXPECT_LT(position(b), position(chain.id))
+          << compiled.chain(b).name << " must precede " << chain.name;
+    }
+  }
+  // The result chain runs last.
+  EXPECT_EQ(order.back(), compiled.result_chain);
+}
+
+TEST(Compile, DeepProbeChainCollectsAllOps) {
+  const QuerySetup setup = PaperFigure5Query(0.01);
+  const CompiledPlan compiled = CompileSetup(setup);
+  // p_D probes J3 then J4 and builds J5's operand.
+  const ChainInfo& pd = ChainBySource(compiled, setup.catalog, "D");
+  ASSERT_EQ(pd.ops.size(), 2u);
+  EXPECT_EQ(pd.ops[0].kind, ChainOpKind::kProbe);
+  EXPECT_EQ(pd.ops[1].kind, ChainOpKind::kProbe);
+  EXPECT_FALSE(pd.is_result);
+  EXPECT_NE(pd.sink_join, kInvalidId);
+}
+
+TEST(Compile, FiltersLandInTheRightChain) {
+  QuerySetup setup = TinyTwoSourceQuery();
+  // Rebuild with filters over both scans.
+  Plan plan;
+  const NodeId a = plan.AddFilter(plan.AddScan(0), 0.5);
+  const NodeId b = plan.AddFilter(plan.AddScan(1), 0.25);
+  plan.SetRoot(plan.AddHashJoin(a, b, 0, 0));
+  const Result<CompiledPlan> compiled = Compile(plan, setup.catalog);
+  ASSERT_TRUE(compiled.ok());
+  const ChainInfo& result = compiled->chain(compiled->result_chain);
+  ASSERT_EQ(result.ops.size(), 2u);
+  EXPECT_EQ(result.ops[0].kind, ChainOpKind::kFilter);
+  EXPECT_DOUBLE_EQ(result.ops[0].selectivity, 0.25);
+  EXPECT_EQ(result.ops[1].kind, ChainOpKind::kProbe);
+  const ChainInfo& build = compiled->chain(result.blockers[0]);
+  ASSERT_EQ(build.ops.size(), 1u);
+  EXPECT_DOUBLE_EQ(build.ops[0].selectivity, 0.5);
+}
+
+TEST(Compile, SingleScanPlan) {
+  wrapper::Catalog catalog;
+  wrapper::SourceSpec s;
+  s.relation.name = "Solo";
+  s.relation.cardinality = 10;
+  catalog.sources.push_back(s);
+  Plan plan;
+  plan.SetRoot(plan.AddScan(0));
+  const Result<CompiledPlan> compiled = Compile(plan, catalog);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->num_chains(), 1);
+  EXPECT_EQ(compiled->num_joins, 0);
+  EXPECT_TRUE(compiled->chain(0).is_result);
+}
+
+TEST(Compile, InvalidPlanIsRejected) {
+  const QuerySetup setup = TinyTwoSourceQuery();
+  Plan bad;  // empty
+  EXPECT_FALSE(Compile(bad, setup.catalog).ok());
+}
+
+TEST(Compile, OperandOfJoinMapsBuildChains) {
+  const QuerySetup setup = PaperFigure5Query(0.01);
+  const CompiledPlan compiled = CompileSetup(setup);
+  ASSERT_EQ(compiled.operand_of_join.size(), 5u);
+  for (JoinId j = 0; j < compiled.num_joins; ++j) {
+    const ChainId producer = compiled.operand_of_join[static_cast<size_t>(j)];
+    ASSERT_NE(producer, kInvalidId);
+    EXPECT_EQ(compiled.chain(producer).sink_join, j);
+  }
+}
+
+}  // namespace
+}  // namespace dqsched::plan

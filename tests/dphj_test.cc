@@ -1,0 +1,114 @@
+// Double-pipelined hash-join strategy tests (paper Section 1.1's
+// operator-level alternative).
+
+#include "core/dphj.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mediator.h"
+#include "plan/canonical_plans.h"
+#include "plan/query_generator.h"
+
+namespace dqsched::core {
+namespace {
+
+Mediator MakeMediator(plan::QuerySetup setup, MediatorConfig config = {}) {
+  Result<Mediator> m = Mediator::Create(std::move(setup.catalog),
+                                        std::move(setup.plan),
+                                        std::move(config));
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  return std::move(m.value());
+}
+
+TEST(Dphj, AgreesWithReferenceOnTinyQuery) {
+  Mediator m = MakeMediator(plan::TinyTwoSourceQuery());
+  Result<ExecutionMetrics> r = m.ExecuteDphj();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();  // Execute verifies
+  EXPECT_EQ(r->result_count, m.reference().result_card);
+  EXPECT_EQ(r->result_checksum, m.reference().checksum.value());
+}
+
+TEST(Dphj, AgreesOnChainAndPaperPlans) {
+  for (plan::QuerySetup setup :
+       {plan::ChainThreeSourceQuery(), plan::PaperFigure5Query(0.02)}) {
+    Mediator m = MakeMediator(std::move(setup));
+    Result<ExecutionMetrics> r = m.ExecuteDphj();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GE(r->response_time, m.LowerBound().bound());
+  }
+}
+
+TEST(Dphj, AgreesOnRandomQueries) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    plan::GeneratorConfig gen;
+    gen.num_sources = 2 + static_cast<int>(seed % 5);
+    gen.seed = seed;
+    gen.min_cardinality = 500;
+    gen.max_cardinality = 4000;
+    Result<plan::QuerySetup> setup = plan::GenerateBushyQuery(gen, false);
+    ASSERT_TRUE(setup.ok());
+    Mediator m = MakeMediator(std::move(setup.value()));
+    Result<ExecutionMetrics> r = m.ExecuteDphj();
+    ASSERT_TRUE(r.ok()) << "seed " << seed << ": " << r.status().ToString();
+  }
+}
+
+TEST(Dphj, AbsorbsInitialDelayWithoutScheduling) {
+  // The DPHJ's selling point: a delayed input blocks nothing, with zero
+  // scheduler involvement.
+  plan::QuerySetup setup = plan::TinyTwoSourceQuery(3000, 3000, 20.0);
+  setup.catalog.sources[0].delay.kind = wrapper::DelayKind::kInitial;
+  setup.catalog.sources[0].delay.initial_delay_ms = 30.0;
+  Mediator m = MakeMediator(std::move(setup));
+  Result<ExecutionMetrics> seq = m.Execute(StrategyKind::kSeq);
+  Result<ExecutionMetrics> dphj = m.ExecuteDphj();
+  ASSERT_TRUE(seq.ok() && dphj.ok());
+  EXPECT_LT(dphj->response_time, seq->response_time);
+}
+
+TEST(Dphj, UsesMoreMemoryThanDse) {
+  // Both sides of every join stay resident: the paper's stated cost of
+  // operator-level adaptation.
+  Mediator m = MakeMediator(plan::PaperFigure5Query(0.05));
+  Result<ExecutionMetrics> dse = m.Execute(StrategyKind::kDse);
+  Result<ExecutionMetrics> dphj = m.ExecuteDphj();
+  ASSERT_TRUE(dse.ok() && dphj.ok());
+  EXPECT_GT(dphj->peak_memory_bytes, dse->peak_memory_bytes);
+}
+
+TEST(Dphj, FailsCleanlyWithoutMemory) {
+  MediatorConfig config;
+  config.memory_budget_bytes = 64 * 1024;  // far below the tables
+  Mediator m = MakeMediator(plan::TinyTwoSourceQuery(5000, 5000), config);
+  Result<ExecutionMetrics> r = m.ExecuteDphj();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Dphj, SingleScanPlan) {
+  wrapper::Catalog catalog;
+  wrapper::SourceSpec s;
+  s.relation.name = "Solo";
+  s.relation.cardinality = 1000;
+  catalog.sources.push_back(s);
+  plan::Plan plan;
+  plan.SetRoot(plan.AddScan(0));
+  Result<Mediator> m = Mediator::Create(catalog, plan, MediatorConfig{});
+  ASSERT_TRUE(m.ok());
+  Result<ExecutionMetrics> r = m->ExecuteDphj();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->result_count, 1000);
+}
+
+TEST(Dphj, RejectsBadBatchSize) {
+  plan::QuerySetup setup = plan::TinyTwoSourceQuery();
+  auto compiled = plan::Compile(setup.plan, setup.catalog);
+  ASSERT_TRUE(compiled.ok());
+  exec::ExecContext ctx(nullptr, comm::CommConfig{}, 1);
+  DphjConfig config;
+  config.batch_size = 0;
+  EXPECT_FALSE(RunDphj(*compiled, ctx, config).ok());
+}
+
+}  // namespace
+}  // namespace dqsched::core

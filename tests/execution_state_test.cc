@@ -1,0 +1,204 @@
+#include "core/execution_state.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/mediator.h"
+#include "plan/canonical_plans.h"
+#include "wrapper/wrapper.h"
+
+namespace dqsched::core {
+namespace {
+
+/// Harness that compiles + annotates a setup and wires a live context.
+class ExecutionStateTest : public ::testing::Test {
+ protected:
+  void Init(plan::QuerySetup setup, int64_t memory = 64 << 20) {
+    setup_ = std::move(setup);
+    auto compiled = plan::Compile(setup_.plan, setup_.catalog);
+    ASSERT_TRUE(compiled.ok());
+    compiled_ = std::move(compiled.value());
+    ASSERT_TRUE(plan::Annotate(&compiled_, setup_.catalog, cost_).ok());
+    ctx_ = std::make_unique<exec::ExecContext>(&cost_, comm::CommConfig{},
+                                               memory);
+    data_.reserve(static_cast<size_t>(setup_.catalog.num_sources()));
+    for (SourceId s = 0; s < setup_.catalog.num_sources(); ++s) {
+      data_.push_back(storage::GenerateRelation(
+          setup_.catalog.source(s).relation, s, Rng(s + 1)));
+      ctx_->comm.AddSource(
+          std::make_unique<wrapper::SimWrapper>(
+              s, &data_.back(), setup_.catalog.source(s).delay, s + 10),
+          static_cast<double>(cost_.MinWaitingTime()));
+    }
+    state_ = std::make_unique<ExecutionState>(&compiled_, ctx_.get(),
+                                              ExecutionOptions{});
+  }
+
+  ChainId ChainOf(const char* name) {
+    const SourceId src = setup_.catalog.Find(name);
+    for (const auto& chain : compiled_.chains) {
+      if (chain.source == src) return chain.id;
+    }
+    return kInvalidId;
+  }
+
+  sim::CostModel cost_;
+  plan::QuerySetup setup_;
+  plan::CompiledPlan compiled_;
+  std::vector<storage::Relation> data_;
+  std::unique_ptr<exec::ExecContext> ctx_;
+  std::unique_ptr<ExecutionState> state_;
+};
+
+TEST_F(ExecutionStateTest, InitialFragmentsMirrorChains) {
+  Init(plan::PaperFigure5Query(0.01));
+  EXPECT_EQ(state_->num_fragments(), 6);
+  for (ChainId c = 0; c < 6; ++c) {
+    EXPECT_EQ(state_->ChainFragment(c), c);
+    EXPECT_TRUE(state_->FragmentActive(c));
+    EXPECT_FALSE(state_->ChainDone(c));
+    EXPECT_FALSE(state_->IsMf(c));
+  }
+  EXPECT_FALSE(state_->QueryDone());
+}
+
+TEST_F(ExecutionStateTest, CSchedulabilityFollowsBlockers) {
+  Init(plan::PaperFigure5Query(0.01));
+  EXPECT_TRUE(state_->CSchedulable(ChainOf("A")));
+  EXPECT_TRUE(state_->CSchedulable(ChainOf("E")));
+  EXPECT_FALSE(state_->CSchedulable(ChainOf("B")));
+  EXPECT_FALSE(state_->CSchedulable(ChainOf("C")));
+}
+
+TEST_F(ExecutionStateTest, DegradeCreatesMfFragment) {
+  Init(plan::PaperFigure5Query(0.01));
+  const ChainId pb = ChainOf("B");
+  const int mf = state_->Degrade(pb, *ctx_);
+  EXPECT_GE(mf, 6);
+  EXPECT_TRUE(state_->Degraded(pb));
+  EXPECT_TRUE(state_->IsMf(mf));
+  EXPECT_EQ(state_->FragmentChain(mf), pb);
+  EXPECT_EQ(state_->fragment(mf).spec().sink, exec::SinkKind::kTemp);
+  EXPECT_EQ(state_->degradations(), 1);
+}
+
+TEST_F(ExecutionStateTest, CfActivationSwapsChainFragment) {
+  Init(plan::PaperFigure5Query(0.01));
+  const ChainId pb = ChainOf("B");
+  const int mf = state_->Degrade(pb, *ctx_);
+  // Let the MF materialize a little.
+  ctx_->clock.StallUntil(Milliseconds(2));
+  ASSERT_TRUE(state_->fragment(mf).ProcessBatch(*ctx_, 32).ok());
+
+  state_->ActivateCf(pb, *ctx_);
+  EXPECT_TRUE(state_->CfActivated(pb));
+  EXPECT_FALSE(state_->FragmentActive(mf));  // MF stopped
+  EXPECT_EQ(state_->cf_activations(), 1);
+  exec::FragmentRuntime& cf = state_->fragment(state_->ChainFragment(pb));
+  EXPECT_EQ(cf.name(), "CF(p_B)");
+  EXPECT_FALSE(cf.closed());
+}
+
+TEST_F(ExecutionStateTest, FinishedFragmentMarksChainDone) {
+  Init(plan::TinyTwoSourceQuery(200, 100, /*mean_delay_us=*/1.0));
+  const int frag = state_->ChainFragment(1);  // the build chain (p_A)
+  exec::FragmentRuntime& rt = state_->fragment(frag);
+  while (!rt.Finished(*ctx_)) {
+    if (rt.Available(*ctx_) > 0) {
+      ASSERT_TRUE(rt.ProcessBatch(*ctx_, 64).ok());
+    } else {
+      ctx_->clock.StallUntil(rt.NextArrival(*ctx_));
+    }
+  }
+  state_->OnFragmentFinished(frag, *ctx_);
+  EXPECT_TRUE(state_->ChainDone(1));
+  EXPECT_FALSE(state_->FragmentActive(frag));
+  // The probe chain becomes C-schedulable.
+  EXPECT_TRUE(state_->CSchedulable(0));
+}
+
+TEST_F(ExecutionStateTest, SplitForMemoryCreatesStages) {
+  // p_D probes two operands (J3 and J4); force a split between them.
+  Init(plan::PaperFigure5Query(0.01));
+  // Pretend p_D's operands are sealed by sealing them manually: run the
+  // ancestors for real instead — too heavy here; use the split validation
+  // path on a synthetic budget instead.
+  const ChainId pd = ChainOf("D");
+  // Seal the operands p_D probes so BytesToLoad is defined.
+  for (const auto& op : compiled_.chain(pd).ops) {
+    if (op.kind == plan::ChainOpKind::kProbe) {
+      auto& operand = state_->operands().Get(op.join);
+      std::vector<storage::Tuple> tuples(100);
+      operand.Append(*ctx_, tuples.data(), 100, true);
+      operand.Seal(*ctx_);
+    }
+  }
+  const int64_t one_operand =
+      state_->operands()
+          .Get(compiled_.chain(pd).ops[0].join)
+          .BytesToLoad(*ctx_);
+  ASSERT_TRUE(
+      state_->SplitForMemory(pd, *ctx_, one_operand + 100).ok());
+  EXPECT_EQ(state_->dqo_splits(), 1);
+  exec::FragmentRuntime& stage0 = state_->fragment(state_->ChainFragment(pd));
+  EXPECT_EQ(stage0.spec().name, "p_D/s0");
+  EXPECT_EQ(stage0.spec().sink, exec::SinkKind::kTemp);
+  EXPECT_EQ(stage0.spec().ops.size(), 1u);
+}
+
+TEST_F(ExecutionStateTest, SplitFailsWhenOneOperandExceedsBudget) {
+  Init(plan::PaperFigure5Query(0.01));
+  const ChainId pd = ChainOf("D");
+  for (const auto& op : compiled_.chain(pd).ops) {
+    if (op.kind == plan::ChainOpKind::kProbe) {
+      auto& operand = state_->operands().Get(op.join);
+      std::vector<storage::Tuple> tuples(100);
+      operand.Append(*ctx_, tuples.data(), 100, true);
+      operand.Seal(*ctx_);
+    }
+  }
+  EXPECT_EQ(state_->SplitForMemory(pd, *ctx_, 16).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(ExecutionStateTest, MaterializeAllTracksTemps) {
+  Init(plan::TinyTwoSourceQuery(100, 100, 1.0));
+  const int f0 = state_->CreateMaterializeAll(0, *ctx_);
+  const int f1 = state_->CreateMaterializeAll(1, *ctx_);
+  EXPECT_NE(state_->MaTempOf(0), kInvalidId);
+  EXPECT_NE(state_->MaTempOf(1), kInvalidId);
+  EXPECT_NE(state_->MaTempOf(0), state_->MaTempOf(1));
+  EXPECT_TRUE(state_->IsMf(f0));
+  EXPECT_EQ(state_->FragmentChain(f1), kInvalidId);
+}
+
+TEST_F(ExecutionStateTest, RebindChainToTempSwapsSource) {
+  Init(plan::TinyTwoSourceQuery(100, 100, 1.0));
+  const TempId temp = ctx_->temps.Create("local");
+  std::vector<storage::Tuple> tuples(10);
+  ctx_->temps.Append(temp, tuples.data(), 10, true);
+  ctx_->temps.Seal(temp);
+  state_->RebindChainToTemp(1, temp, *ctx_);
+  exec::FragmentRuntime& rt = state_->fragment(1);
+  EXPECT_EQ(rt.source().remote_source(), kInvalidId);
+  EXPECT_EQ(rt.Available(*ctx_), 10);
+}
+
+TEST_F(ExecutionStateTest, CpuEstimatesDifferForMfAndChain) {
+  Init(plan::PaperFigure5Query(0.01));
+  const ChainId pc = ChainOf("C");
+  const int mf = state_->Degrade(pc, *ctx_);
+  // The MF only receives and writes; the full chain also probes.
+  EXPECT_LT(state_->FragmentCpuPerTupleNs(mf),
+            state_->FragmentCpuPerTupleNs(state_->ChainFragment(pc)));
+}
+
+TEST_F(ExecutionStateTest, RemainingLiveCountsWrapperTuples) {
+  Init(plan::TinyTwoSourceQuery(500, 300, 1.0));
+  EXPECT_EQ(state_->FragmentRemainingLive(0, *ctx_), 300);
+  EXPECT_EQ(state_->FragmentRemainingLive(1, *ctx_), 500);
+}
+
+}  // namespace
+}  // namespace dqsched::core

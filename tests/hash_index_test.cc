@@ -1,0 +1,103 @@
+#include "exec/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dqsched::exec {
+namespace {
+
+std::vector<storage::Tuple> TuplesWithKeys(std::vector<int64_t> keys,
+                                           int field = 0) {
+  std::vector<storage::Tuple> out(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    out[i].keys[field] = keys[i];
+    out[i].rowid = i;
+  }
+  return out;
+}
+
+std::vector<size_t> Matches(const HashIndex& index, int64_t key) {
+  std::vector<size_t> out;
+  index.ForEachMatch(key, [&](size_t i) { out.push_back(i); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(HashIndex, FindsUniqueKeys) {
+  const auto tuples = TuplesWithKeys({10, 20, 30});
+  HashIndex index;
+  index.Build(tuples, 0);
+  EXPECT_EQ(Matches(index, 10), std::vector<size_t>{0});
+  EXPECT_EQ(Matches(index, 30), std::vector<size_t>{2});
+  EXPECT_TRUE(Matches(index, 99).empty());
+}
+
+TEST(HashIndex, FindsAllDuplicates) {
+  const auto tuples = TuplesWithKeys({5, 5, 7, 5});
+  HashIndex index;
+  index.Build(tuples, 0);
+  EXPECT_EQ(Matches(index, 5), (std::vector<size_t>{0, 1, 3}));
+  EXPECT_EQ(Matches(index, 7), std::vector<size_t>{2});
+}
+
+TEST(HashIndex, EmptyBuild) {
+  HashIndex index;
+  index.Build({}, 0);
+  EXPECT_TRUE(index.built());
+  EXPECT_EQ(index.entry_count(), 0);
+  EXPECT_TRUE(Matches(index, 1).empty());
+}
+
+TEST(HashIndex, UnbuiltIndexMatchesNothing) {
+  HashIndex index;
+  EXPECT_FALSE(index.built());
+  EXPECT_TRUE(Matches(index, 1).empty());
+}
+
+TEST(HashIndex, RespectsKeyField) {
+  auto tuples = TuplesWithKeys({1, 2, 3}, /*field=*/2);
+  HashIndex index;
+  index.Build(tuples, 2);
+  EXPECT_EQ(Matches(index, 2), std::vector<size_t>{1});
+}
+
+TEST(HashIndex, LargeBuildCompleteAndConsistent) {
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < 50000; ++i) keys.push_back(i % 1000);
+  const auto tuples = TuplesWithKeys(keys);
+  HashIndex index;
+  index.Build(tuples, 0);
+  for (int64_t k = 0; k < 1000; k += 97) {
+    EXPECT_EQ(Matches(index, k).size(), 50u);
+  }
+}
+
+TEST(HashIndex, MemoryEstimateMatchesAllocation) {
+  const auto tuples = TuplesWithKeys(std::vector<int64_t>(1000, 1));
+  HashIndex index;
+  index.Build(tuples, 0);
+  EXPECT_EQ(index.AllocatedBytes(), HashIndex::EstimateBytes(1000));
+  // Load factor <= 0.5 at 16 bytes per slot: >= 32 bytes/entry.
+  EXPECT_GE(HashIndex::EstimateBytes(1000), 32 * 1000);
+}
+
+TEST(HashIndex, ClearReleasesEverything) {
+  const auto tuples = TuplesWithKeys({1, 2, 3});
+  HashIndex index;
+  index.Build(tuples, 0);
+  index.Clear();
+  EXPECT_FALSE(index.built());
+  EXPECT_EQ(index.AllocatedBytes(), 0);
+}
+
+TEST(HashIndex, NegativeKeys) {
+  const auto tuples = TuplesWithKeys({-5, -5, 0});
+  HashIndex index;
+  index.Build(tuples, 0);
+  EXPECT_EQ(Matches(index, -5).size(), 2u);
+  EXPECT_EQ(Matches(index, 0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dqsched::exec

@@ -1,0 +1,79 @@
+// Integration tests: every strategy produces the exact reference answer on
+// every setup, respects the lower bound, and behaves deterministically.
+
+#include <gtest/gtest.h>
+
+#include "core/mediator.h"
+#include "plan/canonical_plans.h"
+
+namespace dqsched::core {
+namespace {
+
+MediatorConfig SmallConfig() {
+  MediatorConfig config;
+  config.memory_budget_bytes = 64LL * 1024 * 1024;
+  config.seed = 7;
+  return config;
+}
+
+Mediator MakeMediator(plan::QuerySetup setup, MediatorConfig config) {
+  Result<Mediator> m = Mediator::Create(std::move(setup.catalog),
+                                        std::move(setup.plan),
+                                        std::move(config));
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  return std::move(m.value());
+}
+
+TEST(IntegrationTiny, AllStrategiesAgreeWithReference) {
+  Mediator m = MakeMediator(plan::TinyTwoSourceQuery(), SmallConfig());
+  for (StrategyKind kind :
+       {StrategyKind::kSeq, StrategyKind::kDse, StrategyKind::kMa}) {
+    Result<ExecutionMetrics> r = m.Execute(kind);
+    ASSERT_TRUE(r.ok()) << StrategyName(kind) << ": "
+                        << r.status().ToString();
+    EXPECT_EQ(r->result_count, m.reference().result_card)
+        << StrategyName(kind);
+    EXPECT_EQ(r->result_checksum, m.reference().checksum.value())
+        << StrategyName(kind);
+    EXPECT_GE(r->response_time, m.LowerBound().bound()) << StrategyName(kind);
+  }
+}
+
+TEST(IntegrationChain, AllStrategiesAgreeWithReference) {
+  Mediator m = MakeMediator(plan::ChainThreeSourceQuery(), SmallConfig());
+  for (StrategyKind kind :
+       {StrategyKind::kSeq, StrategyKind::kDse, StrategyKind::kMa}) {
+    Result<ExecutionMetrics> r = m.Execute(kind);
+    ASSERT_TRUE(r.ok()) << StrategyName(kind) << ": "
+                        << r.status().ToString();
+    EXPECT_GE(r->response_time, m.LowerBound().bound()) << StrategyName(kind);
+  }
+}
+
+TEST(IntegrationPaperPlanScaled, DseBeatsSeqWithSlowSource) {
+  // 5% scale paper plan with source A slowed: DSE should clearly win.
+  plan::QuerySetup setup = plan::PaperFigure5Query(/*scale=*/0.05);
+  setup.catalog.sources[0].delay.mean_us = 200.0;  // slow down A 10x
+  Mediator m = MakeMediator(std::move(setup), SmallConfig());
+
+  Result<ExecutionMetrics> seq = m.Execute(StrategyKind::kSeq);
+  Result<ExecutionMetrics> dse = m.Execute(StrategyKind::kDse);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_TRUE(dse.ok()) << dse.status().ToString();
+  EXPECT_EQ(seq->result_checksum, dse->result_checksum);
+  EXPECT_LT(dse->response_time, seq->response_time);
+  EXPECT_GE(dse->response_time, m.LowerBound().bound());
+}
+
+TEST(IntegrationDeterminism, RepeatedDseRunsIdentical) {
+  Mediator m = MakeMediator(plan::TinyTwoSourceQuery(), SmallConfig());
+  Result<ExecutionMetrics> a = m.Execute(StrategyKind::kDse);
+  Result<ExecutionMetrics> b = m.Execute(StrategyKind::kDse);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->response_time, b->response_time);
+  EXPECT_EQ(a->result_checksum, b->result_checksum);
+  EXPECT_EQ(a->execution_phases, b->execution_phases);
+}
+
+}  // namespace
+}  // namespace dqsched::core

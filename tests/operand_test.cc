@@ -1,0 +1,130 @@
+#include "exec/operand.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/exec_context.h"
+
+namespace dqsched::exec {
+namespace {
+
+class OperandTest : public ::testing::Test {
+ protected:
+  OperandTest() : ctx_(&cost_, comm::CommConfig{}, /*memory=*/1 << 20) {}
+
+  std::vector<storage::Tuple> MakeTuples(int64_t n) {
+    std::vector<storage::Tuple> out(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      out[static_cast<size_t>(i)].keys[0] = i % 10;
+      out[static_cast<size_t>(i)].rowid = static_cast<uint64_t>(i);
+    }
+    return out;
+  }
+
+  sim::CostModel cost_;
+  ExecContext ctx_;
+};
+
+TEST_F(OperandTest, InMemoryLifecycle) {
+  Operand op(0, "test", 0);
+  const auto tuples = MakeTuples(100);
+  op.Append(ctx_, tuples.data(), 100, true);
+  EXPECT_FALSE(op.spilled());
+  EXPECT_EQ(ctx_.memory.granted(), 100 * cost_.tuple_size_bytes);
+  op.Seal(ctx_);
+  ASSERT_TRUE(op.Load(ctx_, true).ok());
+  EXPECT_TRUE(op.loaded());
+  EXPECT_EQ(op.cardinality(), 100);
+  // 10 matches for each key 0..9.
+  int matches = 0;
+  op.index().ForEachMatch(3, [&](size_t) { ++matches; });
+  EXPECT_EQ(matches, 10);
+  op.ReleaseAll(ctx_);
+  EXPECT_EQ(ctx_.memory.granted(), 0);
+}
+
+TEST_F(OperandTest, LoadChargesInsertCpu) {
+  Operand op(0, "cpu", 0);
+  const auto tuples = MakeTuples(1000);
+  op.Append(ctx_, tuples.data(), 1000, true);
+  op.Seal(ctx_);
+  const SimTime before = ctx_.clock.now();
+  ASSERT_TRUE(op.Load(ctx_, true).ok());
+  EXPECT_GE(ctx_.clock.now() - before,
+            cost_.InstrTime(1000 * cost_.instr_hash_insert));
+}
+
+TEST_F(OperandTest, SpillsOnMemoryPressure) {
+  ExecContext tight(&cost_, comm::CommConfig{}, /*memory=*/1000);
+  Operand op(0, "spill", 0);
+  const auto tuples = MakeTuples(100);  // 4000 bytes > 1000 budget
+  op.Append(tight, tuples.data(), 100, true);
+  EXPECT_TRUE(op.spilled());
+  EXPECT_EQ(tight.memory.granted(), 0);  // grants returned after spilling
+  op.Seal(tight);
+  EXPECT_EQ(op.cardinality(), 100);
+}
+
+TEST_F(OperandTest, SpilledLoadFailsWithoutMemoryAndRollsBack) {
+  ExecContext tight(&cost_, comm::CommConfig{}, /*memory=*/1000);
+  Operand op(0, "fail", 0);
+  const auto tuples = MakeTuples(100);
+  op.Append(tight, tuples.data(), 100, true);
+  op.Seal(tight);
+  const Status s = tight.memory.Grant(0);  // sanity
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(op.Load(tight, true).code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(op.loaded());
+  EXPECT_EQ(tight.memory.granted(), 0);  // full rollback
+}
+
+TEST_F(OperandTest, SpilledReloadWorks) {
+  ExecContext ctx(&cost_, comm::CommConfig{}, /*memory=*/20000);
+  Operand op(0, "reload", 0);
+  // Squeeze memory so the append spills, then release the filler.
+  const int64_t filler = ctx.memory.available() - 5000;
+  ASSERT_TRUE(ctx.memory.Grant(filler).ok());
+  const auto tuples = MakeTuples(200);  // 8000 B > the 5000 left
+  op.Append(ctx, tuples.data(), 200, true);
+  ASSERT_TRUE(op.spilled());
+  op.Seal(ctx);
+  ctx.memory.Release(filler);
+  ASSERT_TRUE(op.Load(ctx, true).ok());
+  EXPECT_EQ(op.cardinality(), 200);
+  int matches = 0;
+  op.index().ForEachMatch(5, [&](size_t) { ++matches; });
+  EXPECT_EQ(matches, 20);  // keys cycle mod 10 over 200 tuples
+}
+
+TEST_F(OperandTest, BytesToLoadReflectsState) {
+  Operand op(0, "btl", 0);
+  const auto tuples = MakeTuples(100);
+  op.Append(ctx_, tuples.data(), 100, true);
+  op.Seal(ctx_);
+  // In memory: only the index is needed.
+  EXPECT_EQ(op.BytesToLoad(ctx_), HashIndex::EstimateBytes(100));
+  ASSERT_TRUE(op.Load(ctx_, true).ok());
+  EXPECT_EQ(op.BytesToLoad(ctx_), 0);
+}
+
+TEST_F(OperandTest, EmptyOperand) {
+  Operand op(0, "empty", 0);
+  op.Seal(ctx_);
+  ASSERT_TRUE(op.Load(ctx_, true).ok());
+  EXPECT_EQ(op.cardinality(), 0);
+  int matches = 0;
+  op.index().ForEachMatch(1, [&](size_t) { ++matches; });
+  EXPECT_EQ(matches, 0);
+  op.ReleaseAll(ctx_);
+}
+
+TEST_F(OperandTest, RegistryRegistersInOrder) {
+  OperandRegistry registry(2);
+  Operand& a = registry.Register(0, "first", 1);
+  Operand& b = registry.Register(1, "second", 2);
+  EXPECT_EQ(&registry.Get(0), &a);
+  EXPECT_EQ(&registry.Get(1), &b);
+  EXPECT_EQ(registry.Get(1).key_field(), 2);
+}
+
+}  // namespace
+}  // namespace dqsched::exec

@@ -1,0 +1,220 @@
+// Property-based sweeps: over random queries, seeds, delay models, and
+// memory budgets, the system-wide invariants of DESIGN.md Section 6 must
+// hold — answer equivalence across strategies, LWB dominance, memory
+// safety, determinism.
+
+#include <gtest/gtest.h>
+
+#include "core/mediator.h"
+#include "plan/canonical_plans.h"
+#include "plan/query_generator.h"
+
+namespace dqsched::core {
+namespace {
+
+struct SweepCase {
+  uint64_t seed;
+  int num_sources;
+  bool use_optimizer;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) {
+  *os << "seed" << c.seed << "_n" << c.num_sources
+      << (c.use_optimizer ? "_opt" : "_rand");
+}
+
+class RandomQuerySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(RandomQuerySweep, AllInvariantsHold) {
+  const SweepCase& param = GetParam();
+  plan::GeneratorConfig gen;
+  gen.num_sources = param.num_sources;
+  gen.seed = param.seed;
+  gen.min_cardinality = 500;
+  gen.max_cardinality = 6000;
+  Result<plan::QuerySetup> setup =
+      plan::GenerateBushyQuery(gen, param.use_optimizer);
+  ASSERT_TRUE(setup.ok()) << setup.status().ToString();
+
+  MediatorConfig config;
+  config.seed = param.seed * 1000 + 1;
+  config.memory_budget_bytes = 32LL << 20;
+  Result<Mediator> mediator =
+      Mediator::Create(std::move(setup->catalog), std::move(setup->plan),
+                       std::move(config));
+  ASSERT_TRUE(mediator.ok()) << mediator.status().ToString();
+
+  const SimDuration lwb = mediator->LowerBound().bound();
+  uint64_t checksum = 0;
+  bool first = true;
+  for (StrategyKind kind :
+       {StrategyKind::kSeq, StrategyKind::kDse, StrategyKind::kMa}) {
+    Result<ExecutionMetrics> r = mediator->Execute(kind);
+    // Mediator::Execute verifies the result against the reference oracle.
+    ASSERT_TRUE(r.ok()) << StrategyName(kind) << ": "
+                        << r.status().ToString();
+    EXPECT_GE(r->response_time, lwb) << StrategyName(kind);
+    EXPECT_LE(r->peak_memory_bytes, 32LL << 20) << StrategyName(kind);
+    if (first) {
+      checksum = r->result_checksum;
+      first = false;
+    } else {
+      EXPECT_EQ(r->result_checksum, checksum) << StrategyName(kind);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomQuerySweep,
+    ::testing::Values(
+        SweepCase{1, 2, false}, SweepCase{2, 3, false},
+        SweepCase{3, 4, false}, SweepCase{4, 5, false},
+        SweepCase{5, 6, false}, SweepCase{6, 7, false},
+        SweepCase{7, 8, false}, SweepCase{8, 3, true},
+        SweepCase{9, 5, true}, SweepCase{10, 6, true},
+        SweepCase{11, 7, true}, SweepCase{12, 4, true},
+        SweepCase{13, 1, false}, SweepCase{14, 2, true}),
+    ::testing::PrintToStringParamName());
+
+class DelayModelSweep
+    : public ::testing::TestWithParam<wrapper::DelayKind> {};
+
+TEST_P(DelayModelSweep, StrategiesAgreeUnderEveryDelayShape) {
+  // The paper's three delay problems (initial, bursty, slow) plus the
+  // baselines; applied to the slowed relation A of a scaled paper query.
+  plan::QuerySetup setup = plan::PaperFigure5Query(0.02);
+  wrapper::DelayConfig& delay = setup.catalog.sources[0].delay;
+  delay.kind = GetParam();
+  delay.initial_delay_ms = 20.0;
+  delay.burst_length = 200;
+  delay.burst_gap_ms = 5.0;
+  delay.slow_factor = 5.0;
+
+  MediatorConfig config;
+  config.seed = 99;
+  Result<Mediator> mediator = Mediator::Create(
+      std::move(setup.catalog), std::move(setup.plan), std::move(config));
+  ASSERT_TRUE(mediator.ok());
+  const SimDuration lwb = mediator->LowerBound().bound();
+  for (StrategyKind kind :
+       {StrategyKind::kSeq, StrategyKind::kDse, StrategyKind::kMa}) {
+    Result<ExecutionMetrics> r = mediator->Execute(kind);
+    ASSERT_TRUE(r.ok()) << StrategyName(kind) << ": "
+                        << r.status().ToString();
+    EXPECT_GE(r->response_time, lwb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Delays, DelayModelSweep,
+    ::testing::Values(wrapper::DelayKind::kConstant,
+                      wrapper::DelayKind::kUniform,
+                      wrapper::DelayKind::kInitial,
+                      wrapper::DelayKind::kBursty, wrapper::DelayKind::kSlow),
+    [](const auto& info) {
+      return std::string(wrapper::DelayKindName(info.param));
+    });
+
+class MemoryBudgetSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(MemoryBudgetSweep, CorrectUnderPressure) {
+  // Shrinking budgets force operand spills and DQO splits; answers must
+  // stay exact and the accountant must never exceed the budget.
+  plan::QuerySetup setup = plan::ChainThreeSourceQuery(2.0);
+  MediatorConfig config;
+  config.memory_budget_bytes = GetParam();
+  config.seed = 3;
+  Result<Mediator> mediator = Mediator::Create(
+      std::move(setup.catalog), std::move(setup.plan), std::move(config));
+  ASSERT_TRUE(mediator.ok());
+  for (StrategyKind kind : {StrategyKind::kSeq, StrategyKind::kDse}) {
+    Result<ExecutionMetrics> r = mediator->Execute(kind);
+    ASSERT_TRUE(r.ok()) << StrategyName(kind) << " at "
+                        << GetParam() << " bytes: "
+                        << r.status().ToString();
+    EXPECT_LE(r->peak_memory_bytes, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, MemoryBudgetSweep,
+                         ::testing::Values(int64_t{550000}, int64_t{600000},
+                                           int64_t{700000}, int64_t{1000000},
+                                           int64_t{4000000}),
+                         [](const auto& info) {
+                           return std::to_string(info.param);
+                         });
+
+class BatchSizeSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(BatchSizeSweep, DseCorrectForAnyBatchSize) {
+  plan::QuerySetup setup = plan::TinyTwoSourceQuery(800, 600, 5.0);
+  MediatorConfig config;
+  config.strategy.dqp.batch_size = GetParam();
+  Result<Mediator> mediator = Mediator::Create(
+      std::move(setup.catalog), std::move(setup.plan), std::move(config));
+  ASSERT_TRUE(mediator.ok());
+  Result<ExecutionMetrics> r = mediator->Execute(StrategyKind::kDse);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSizeSweep,
+                         ::testing::Values(int64_t{1}, int64_t{7}, int64_t{64},
+                                           int64_t{128}, int64_t{1024},
+                                           int64_t{100000}),
+                         [](const auto& info) {
+                           return std::to_string(info.param);
+                         });
+
+class QueueCapacitySweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(QueueCapacitySweep, WindowProtocolCorrectForAnyCapacity) {
+  plan::QuerySetup setup = plan::ChainThreeSourceQuery(3.0);
+  MediatorConfig config;
+  config.comm.queue_capacity = GetParam();
+  Result<Mediator> mediator = Mediator::Create(
+      std::move(setup.catalog), std::move(setup.plan), std::move(config));
+  ASSERT_TRUE(mediator.ok());
+  for (StrategyKind kind : {StrategyKind::kSeq, StrategyKind::kDse}) {
+    Result<ExecutionMetrics> r = mediator->Execute(kind);
+    ASSERT_TRUE(r.ok()) << StrategyName(kind) << ": "
+                        << r.status().ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Queues, QueueCapacitySweep,
+                         ::testing::Values(int64_t{1}, int64_t{8},
+                                           int64_t{256}, int64_t{4096}),
+                         [](const auto& info) {
+                           return std::to_string(info.param);
+                         });
+
+TEST(EmptyRelationProperty, AllStrategiesHandleEmptyBuildSide) {
+  plan::QuerySetup setup = plan::TinyTwoSourceQuery(/*card_a=*/0,
+                                                    /*card_b=*/500);
+  Result<Mediator> mediator = Mediator::Create(
+      std::move(setup.catalog), std::move(setup.plan), MediatorConfig{});
+  ASSERT_TRUE(mediator.ok());
+  for (StrategyKind kind :
+       {StrategyKind::kSeq, StrategyKind::kDse, StrategyKind::kMa}) {
+    Result<ExecutionMetrics> r = mediator->Execute(kind);
+    ASSERT_TRUE(r.ok()) << StrategyName(kind);
+    EXPECT_EQ(r->result_count, 0);
+  }
+}
+
+TEST(EmptyRelationProperty, AllStrategiesHandleEmptyProbeSide) {
+  plan::QuerySetup setup = plan::TinyTwoSourceQuery(/*card_a=*/500,
+                                                    /*card_b=*/0);
+  Result<Mediator> mediator = Mediator::Create(
+      std::move(setup.catalog), std::move(setup.plan), MediatorConfig{});
+  ASSERT_TRUE(mediator.ok());
+  for (StrategyKind kind :
+       {StrategyKind::kSeq, StrategyKind::kDse, StrategyKind::kMa}) {
+    Result<ExecutionMetrics> r = mediator->Execute(kind);
+    ASSERT_TRUE(r.ok()) << StrategyName(kind);
+    EXPECT_EQ(r->result_count, 0);
+  }
+}
+
+}  // namespace
+}  // namespace dqsched::core

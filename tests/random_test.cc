@@ -1,0 +1,96 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace dqsched {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.Uniform(13), 13u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformZeroToTwiceHasRequestedMean) {
+  // The paper's delay distribution: uniform in [0, 2w] with mean w.
+  Rng rng(13);
+  double sum = 0;
+  const double mean = 20.0;
+  for (int i = 0; i < 50000; ++i) {
+    const double d = rng.UniformZeroToTwice(mean);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 2 * mean);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 50000, mean, 0.5);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 50000; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / 50000, 5.0, 0.2);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.Next() == child.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedResetsSequence) {
+  Rng rng(3);
+  const uint64_t first = rng.Next();
+  rng.Next();
+  rng.Reseed(3);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+}  // namespace
+}  // namespace dqsched

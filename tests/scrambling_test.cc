@@ -1,0 +1,100 @@
+// Query-scrambling (phase 1) tests — the paper's Section 1.2 comparison
+// strategy, including its two documented weaknesses.
+
+#include "core/scrambling.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mediator.h"
+#include "plan/canonical_plans.h"
+
+namespace dqsched::core {
+namespace {
+
+Mediator MakeMediator(plan::QuerySetup setup, MediatorConfig config = {}) {
+  Result<Mediator> m = Mediator::Create(std::move(setup.catalog),
+                                        std::move(setup.plan),
+                                        std::move(config));
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  return std::move(m.value());
+}
+
+TEST(Scrambling, AgreesWithReferenceEverywhere) {
+  for (plan::QuerySetup setup :
+       {plan::TinyTwoSourceQuery(), plan::ChainThreeSourceQuery(),
+        plan::PaperFigure5Query(0.02)}) {
+    Mediator m = MakeMediator(std::move(setup));
+    Result<ExecutionMetrics> r = m.ExecuteScrambling();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();  // verified internally
+    EXPECT_GE(r->response_time, m.LowerBound().bound());
+  }
+}
+
+TEST(Scrambling, WithoutDelaysBehavesLikeSeq) {
+  // No starvation past the timeout -> no scrambling steps -> the classic
+  // iterator-model execution.
+  Mediator m = MakeMediator(plan::PaperFigure5Query(0.05));
+  Result<ExecutionMetrics> seq = m.Execute(StrategyKind::kSeq);
+  Result<ExecutionMetrics> scr = m.ExecuteScrambling(Seconds(10));
+  ASSERT_TRUE(seq.ok() && scr.ok());
+  EXPECT_EQ(scr->timeouts, 0);
+  EXPECT_NEAR(ToSecondsF(scr->response_time), ToSecondsF(seq->response_time),
+              0.05);
+}
+
+TEST(Scrambling, ReactsToInitialDelay) {
+  // The scenario scrambling was designed for (paper: [15] "only considers
+  // initial delays"): the very first source hangs for a while.
+  plan::QuerySetup setup = plan::PaperFigure5Query(0.05);
+  setup.catalog.sources[0].delay.kind = wrapper::DelayKind::kInitial;
+  setup.catalog.sources[0].delay.initial_delay_ms = 500.0;
+  Mediator m = MakeMediator(std::move(setup));
+  Result<ExecutionMetrics> seq = m.Execute(StrategyKind::kSeq);
+  Result<ExecutionMetrics> scr = m.ExecuteScrambling(Milliseconds(20));
+  ASSERT_TRUE(seq.ok() && scr.ok());
+  EXPECT_GT(scr->timeouts, 0);  // scrambling steps fired
+  EXPECT_LT(scr->response_time, seq->response_time);
+}
+
+TEST(Scrambling, BlindToSlowDelivery) {
+  // The paper's key criticism: a steady trickle never starves the engine
+  // past any reasonable timeout, so scrambling never reacts — while DSE's
+  // rate monitoring does.
+  plan::QuerySetup setup = plan::PaperFigure5Query(0.05);
+  setup.catalog.sources[0].delay.kind = wrapper::DelayKind::kSlow;
+  setup.catalog.sources[0].delay.slow_factor = 6.0;
+  Mediator m = MakeMediator(std::move(setup));
+  Result<ExecutionMetrics> seq = m.Execute(StrategyKind::kSeq);
+  Result<ExecutionMetrics> scr = m.ExecuteScrambling(Milliseconds(20));
+  Result<ExecutionMetrics> dse = m.Execute(StrategyKind::kDse);
+  ASSERT_TRUE(seq.ok() && scr.ok() && dse.ok());
+  // Inter-tuple gaps (~120 us) never trip a 20 ms timeout: SCR ~ SEQ.
+  EXPECT_EQ(scr->timeouts, 0);
+  EXPECT_NEAR(ToSecondsF(scr->response_time), ToSecondsF(seq->response_time),
+              ToSecondsF(seq->response_time) * 0.05);
+  EXPECT_LT(dse->response_time, scr->response_time);
+}
+
+TEST(Scrambling, LastSourceDelayFindsNothingToScramble) {
+  // "if a single problem arises with the last accessed data source,
+  // scrambling will be ineffective since there is no more work to
+  // scramble" [1]. C feeds the final (result) chain.
+  plan::QuerySetup setup = plan::PaperFigure5Query(0.05);
+  setup.catalog.sources[2].delay.kind = wrapper::DelayKind::kInitial;
+  setup.catalog.sources[2].delay.initial_delay_ms = 1000.0;
+  Mediator m = MakeMediator(std::move(setup));
+  Result<ExecutionMetrics> scr = m.ExecuteScrambling(Milliseconds(20));
+  ASSERT_TRUE(scr.ok());
+  // C's initial delay is only *hit* once everything else is done; the
+  // response time absorbs nearly the full second of stall.
+  EXPECT_GT(scr->stalled_time, Milliseconds(600));
+}
+
+TEST(Scrambling, RejectsBadConfig) {
+  plan::QuerySetup setup = plan::TinyTwoSourceQuery();
+  Mediator m = MakeMediator(std::move(setup));
+  EXPECT_FALSE(m.ExecuteScrambling(/*timeout=*/0).ok());
+}
+
+}  // namespace
+}  // namespace dqsched::core

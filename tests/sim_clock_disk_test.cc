@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+#include "sim/disk.h"
+#include "sim/network.h"
+#include "sim/sim_clock.h"
+
+namespace dqsched::sim {
+namespace {
+
+TEST(SimClock, AdvanceAccumulatesBusy) {
+  SimClock clock;
+  clock.Advance(100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.now(), 150);
+  EXPECT_EQ(clock.busy_time(), 150);
+  EXPECT_EQ(clock.stalled_time(), 0);
+}
+
+TEST(SimClock, StallUntilAccumulatesStalled) {
+  SimClock clock;
+  clock.Advance(100);
+  clock.StallUntil(400);
+  EXPECT_EQ(clock.now(), 400);
+  EXPECT_EQ(clock.busy_time(), 100);
+  EXPECT_EQ(clock.stalled_time(), 300);
+}
+
+TEST(SimClock, StallUntilPastIsNoOp) {
+  SimClock clock;
+  clock.Advance(500);
+  clock.StallUntil(300);
+  EXPECT_EQ(clock.now(), 500);
+  EXPECT_EQ(clock.stalled_time(), 0);
+}
+
+TEST(SimClock, BusyUntilWaitsAsBusy) {
+  SimClock clock;
+  clock.Advance(10);
+  clock.BusyUntil(100);
+  EXPECT_EQ(clock.now(), 100);
+  EXPECT_EQ(clock.busy_time(), 100);
+}
+
+TEST(SimClock, ResetZeroesEverything) {
+  SimClock clock;
+  clock.Advance(10);
+  clock.StallUntil(99);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0);
+  EXPECT_EQ(clock.busy_time(), 0);
+  EXPECT_EQ(clock.stalled_time(), 0);
+}
+
+TEST(SimDisk, SequentialTransfersCostTransferOnly) {
+  CostModel cm;
+  SimDisk disk(&cm);
+  const auto r1 = disk.Transfer(0, /*stream=*/1, /*pages=*/1, true);
+  // First access positions, then transfers.
+  EXPECT_EQ(r1.data_done, cm.DiskPositionTime() + cm.PageTransferTime());
+  const auto r2 = disk.Transfer(r1.data_done, 1, 1, true);
+  EXPECT_EQ(r2.data_done, r1.data_done + cm.PageTransferTime());
+  EXPECT_EQ(disk.stats().positionings, 1);
+}
+
+TEST(SimDisk, StreamSwitchPaysPositioning) {
+  CostModel cm;
+  SimDisk disk(&cm);
+  disk.Transfer(0, 1, 1, true);
+  disk.Transfer(0, 2, 1, true);
+  disk.Transfer(0, 1, 1, true);
+  EXPECT_EQ(disk.stats().positionings, 3);
+}
+
+TEST(SimDisk, RequestsSerializeBehindBusyArm) {
+  CostModel cm;
+  SimDisk disk(&cm);
+  const auto r1 = disk.Transfer(0, 1, 4, true);
+  // Issued "now" but the arm is busy: starts after r1.
+  const auto r2 = disk.Transfer(0, 1, 1, false);
+  EXPECT_EQ(r2.data_done, r1.data_done + cm.PageTransferTime());
+}
+
+TEST(SimDisk, StatsCountPagesAndCalls) {
+  CostModel cm;
+  SimDisk disk(&cm);
+  disk.Transfer(0, 1, 3, true);
+  disk.Transfer(0, 1, 2, false);
+  EXPECT_EQ(disk.stats().pages_written, 3);
+  EXPECT_EQ(disk.stats().pages_read, 2);
+  EXPECT_EQ(disk.stats().io_calls, 2);
+  EXPECT_GT(disk.stats().busy, 0);
+}
+
+TEST(SimDisk, FreeAtReflectsBusyUntil) {
+  CostModel cm;
+  SimDisk disk(&cm);
+  EXPECT_EQ(disk.FreeAt(42), 42);
+  const auto r = disk.Transfer(42, 1, 1, true);
+  EXPECT_EQ(disk.FreeAt(0), r.data_done);
+}
+
+TEST(NetworkModel, ChargesWholeMessagesWithCarry) {
+  CostModel cm;
+  NetworkModel net(&cm);
+  // 204 tuples per message; 100 tuples => no whole message yet.
+  EXPECT_EQ(net.ChargeReceive(0, 100), 0);
+  // 104 more completes exactly one message.
+  EXPECT_EQ(net.ChargeReceive(0, 104), cm.InstrTime(cm.instr_per_message));
+  EXPECT_EQ(net.stats().messages_received, 1);
+  EXPECT_EQ(net.stats().tuples_received, 204);
+}
+
+TEST(NetworkModel, CarryIsPerSource) {
+  CostModel cm;
+  NetworkModel net(&cm);
+  net.ChargeReceive(0, 200);
+  // A different source must not inherit source 0's carry.
+  EXPECT_EQ(net.ChargeReceive(1, 10), 0);
+  EXPECT_EQ(net.stats().messages_received, 0);
+}
+
+TEST(NetworkModel, LongRunChargesExactMessageCount) {
+  CostModel cm;
+  NetworkModel net(&cm);
+  SimDuration total = 0;
+  for (int i = 0; i < 1000; ++i) total += net.ChargeReceive(0, 51);
+  // 51000 tuples = 250 messages worth of receive CPU.
+  EXPECT_EQ(net.stats().messages_received, 51000 / 204);
+  EXPECT_EQ(total, cm.InstrTime((51000 / 204) * cm.instr_per_message));
+}
+
+}  // namespace
+}  // namespace dqsched::sim

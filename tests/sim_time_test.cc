@@ -1,0 +1,37 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace dqsched {
+namespace {
+
+TEST(SimTime, UnitConversions) {
+  EXPECT_EQ(Nanoseconds(5), 5);
+  EXPECT_EQ(Microseconds(2.0), 2000);
+  EXPECT_EQ(Milliseconds(3.0), 3000000);
+  EXPECT_EQ(Seconds(1.5), 1500000000);
+}
+
+TEST(SimTime, BackConversions) {
+  EXPECT_DOUBLE_EQ(ToMicros(Microseconds(7.0)), 7.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Milliseconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(ToSecondsF(Seconds(4.0)), 4.0);
+}
+
+TEST(SimTime, FormatPicksAdaptiveUnit) {
+  EXPECT_EQ(FormatDuration(Nanoseconds(12)), "12 ns");
+  EXPECT_EQ(FormatDuration(Microseconds(20)), "20.00 us");
+  EXPECT_EQ(FormatDuration(Milliseconds(1.5)), "1.50 ms");
+  EXPECT_EQ(FormatDuration(Seconds(2)), "2.000 s");
+}
+
+TEST(SimTime, FormatNever) {
+  EXPECT_EQ(FormatDuration(kSimTimeNever), "never");
+}
+
+TEST(SimTime, NeverIsLargerThanAnyRealTime) {
+  EXPECT_GT(kSimTimeNever, Seconds(1e6));
+}
+
+}  // namespace
+}  // namespace dqsched

@@ -1,0 +1,91 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dqsched {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad arg").message(), "bad arg");
+}
+
+TEST(Status, ToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(Status::NotFound("widget").ToString(), "NotFound: widget");
+  EXPECT_EQ(Status(StatusCode::kInternal, "").ToString(), "Internal");
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Result, ArrowOperator) {
+  struct Pair {
+    int a = 1;
+    int b = 2;
+  };
+  Result<Pair> r(Pair{});
+  EXPECT_EQ(r->a, 1);
+  EXPECT_EQ(r->b, 2);
+}
+
+TEST(Result, WorksWithMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 9);
+}
+
+TEST(ReturnIfErrorMacro, PropagatesError) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto outer = [&]() -> Status {
+    DQS_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+TEST(ReturnIfErrorMacro, PassesThroughOk) {
+  auto ok = [] { return Status::Ok(); };
+  auto outer = [&]() -> Status {
+    DQS_RETURN_IF_ERROR(ok());
+    return Status::InvalidArgument("reached");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dqsched

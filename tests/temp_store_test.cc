@@ -1,0 +1,156 @@
+#include "storage/temp_store.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/disk.h"
+#include "sim/sim_clock.h"
+
+namespace dqsched::storage {
+namespace {
+
+class TempStoreTest : public ::testing::Test {
+ protected:
+  TempStoreTest() : disk_(&cost_), store_(&cost_, &disk_, &clock_) {}
+
+  std::vector<Tuple> MakeTuples(int64_t n, uint64_t base = 0) {
+    std::vector<Tuple> out(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      out[static_cast<size_t>(i)].rowid = base + static_cast<uint64_t>(i);
+    }
+    return out;
+  }
+
+  sim::CostModel cost_;
+  sim::SimClock clock_;
+  sim::SimDisk disk_;
+  TempStore store_;
+};
+
+TEST_F(TempStoreTest, AppendSealReadRoundTrip) {
+  const TempId id = store_.Create("t");
+  const auto tuples = MakeTuples(1000);
+  store_.Append(id, tuples.data(), 1000, /*async_io=*/true);
+  store_.Seal(id);
+  EXPECT_TRUE(store_.IsSealed(id));
+  EXPECT_EQ(store_.Cardinality(id), 1000);
+
+  std::vector<Tuple> out(1000);
+  SimTime ready = 0;
+  const int64_t n =
+      store_.Read(id, 0, out.data(), 1000, /*async_io=*/true, &ready);
+  ASSERT_EQ(n, 1000);
+  for (int64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)].rowid, static_cast<uint64_t>(i));
+  }
+}
+
+TEST_F(TempStoreTest, SmallTempIsCacheServed) {
+  // 1000 tuples = 5 pages <= 8-page I/O cache: reads are free.
+  const TempId id = store_.Create("small");
+  const auto tuples = MakeTuples(1000);
+  store_.Append(id, tuples.data(), 1000, true);
+  store_.Seal(id);
+  const int64_t reads_before = disk_.stats().pages_read;
+  std::vector<Tuple> out(1000);
+  SimTime ready = 0;
+  store_.Read(id, 0, out.data(), 1000, true, &ready);
+  EXPECT_EQ(disk_.stats().pages_read, reads_before);
+  EXPECT_EQ(store_.stats().cache_served_reads, 1);
+  EXPECT_TRUE(store_.FitsIoCache(id));
+}
+
+TEST_F(TempStoreTest, LargeTempChargesDiskOnWriteAndRead) {
+  // One chunk's worth: 64 pages * 204 tuples.
+  const int64_t n = 64 * 204;
+  const TempId id = store_.Create("big");
+  const auto tuples = MakeTuples(n);
+  store_.Append(id, tuples.data(), n, true);
+  EXPECT_EQ(disk_.stats().pages_written, 64);
+  store_.Seal(id);
+  EXPECT_FALSE(store_.FitsIoCache(id));
+
+  std::vector<Tuple> out(static_cast<size_t>(n));
+  SimTime ready = 0;
+  store_.Read(id, 0, out.data(), n, true, &ready);
+  EXPECT_EQ(disk_.stats().pages_read, 64);
+  EXPECT_GT(ready, 0);
+}
+
+TEST_F(TempStoreTest, SealFlushesRemainder) {
+  const int64_t n = 64 * 204 + 100;  // one chunk + a partial page tail
+  const TempId id = store_.Create("tail");
+  const auto tuples = MakeTuples(n);
+  store_.Append(id, tuples.data(), n, true);
+  EXPECT_EQ(disk_.stats().pages_written, 64);
+  store_.Seal(id);
+  EXPECT_EQ(disk_.stats().pages_written, 65);
+  EXPECT_EQ(store_.Pages(id), 65);
+}
+
+TEST_F(TempStoreTest, SynchronousIoAdvancesClock) {
+  const int64_t n = 64 * 204;
+  const TempId id = store_.Create("sync");
+  const auto tuples = MakeTuples(n);
+  const SimTime before = clock_.now();
+  store_.Append(id, tuples.data(), n, /*async_io=*/false);
+  EXPECT_GE(clock_.now() - before, 64 * cost_.PageTransferTime());
+}
+
+TEST_F(TempStoreTest, AsynchronousWriteDoesNotBlockCpu) {
+  const int64_t n = 64 * 204;
+  const TempId id = store_.Create("async");
+  const auto tuples = MakeTuples(n);
+  const SimTime before = clock_.now();
+  store_.Append(id, tuples.data(), n, /*async_io=*/true);
+  // Only the per-I/O instruction cost hits the clock.
+  EXPECT_EQ(clock_.now() - before, cost_.InstrTime(cost_.instr_per_io));
+}
+
+TEST_F(TempStoreTest, IssueReadAndCopy) {
+  const int64_t n = 64 * 204;
+  const TempId id = store_.Create("prefetch");
+  const auto tuples = MakeTuples(n, 100);
+  store_.Append(id, tuples.data(), n, true);
+  store_.Seal(id);
+  const SimTime done = store_.IssueRead(id, n);
+  EXPECT_GT(done, clock_.now());
+  std::vector<Tuple> out(10);
+  store_.Copy(id, 5, out.data(), 10);
+  EXPECT_EQ(out[0].rowid, 105u);
+}
+
+TEST_F(TempStoreTest, ReadBeyondEndReturnsZero) {
+  const TempId id = store_.Create("t");
+  const auto tuples = MakeTuples(10);
+  store_.Append(id, tuples.data(), 10, true);
+  store_.Seal(id);
+  std::vector<Tuple> out(10);
+  SimTime ready = 0;
+  EXPECT_EQ(store_.Read(id, 10, out.data(), 10, true, &ready), 0);
+}
+
+TEST_F(TempStoreTest, SealEmptyTemp) {
+  const TempId id = store_.Create("empty");
+  store_.Seal(id);
+  EXPECT_EQ(store_.Cardinality(id), 0);
+  EXPECT_EQ(store_.Pages(id), 0);
+}
+
+TEST_F(TempStoreTest, StatsAccumulate) {
+  const TempId id = store_.Create("s");
+  const auto tuples = MakeTuples(100);
+  store_.Append(id, tuples.data(), 100, true);
+  store_.Seal(id);
+  std::vector<Tuple> out(100);
+  SimTime ready = 0;
+  store_.Read(id, 0, out.data(), 100, true, &ready);
+  EXPECT_EQ(store_.stats().temps_created, 1);
+  EXPECT_EQ(store_.stats().tuples_written, 100);
+  EXPECT_EQ(store_.stats().tuples_read, 100);
+}
+
+}  // namespace
+}  // namespace dqsched::storage

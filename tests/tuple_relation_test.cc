@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "storage/memory_accountant.h"
+#include "storage/relation.h"
+#include "storage/tuple.h"
+
+namespace dqsched::storage {
+namespace {
+
+TEST(Tuple, IsFortyBytes) { EXPECT_EQ(sizeof(Tuple), 40u); }
+
+TEST(Tuple, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  EXPECT_NE(Mix64(1), Mix64(2));
+  // Adjacent inputs should differ in many bits.
+  const uint64_t x = Mix64(100) ^ Mix64(101);
+  EXPECT_GT(__builtin_popcountll(x), 16);
+}
+
+TEST(Tuple, CombineRowidOrderSensitive) {
+  EXPECT_NE(CombineRowid(1, 2), CombineRowid(2, 1));
+  EXPECT_EQ(CombineRowid(7, 9), CombineRowid(7, 9));
+}
+
+TEST(Tuple, FilterPassesDeterministic) {
+  for (uint64_t rowid = 0; rowid < 100; ++rowid) {
+    EXPECT_EQ(FilterPasses(rowid, 3, 0.5), FilterPasses(rowid, 3, 0.5));
+  }
+}
+
+TEST(Tuple, FilterPassesApproximatesSelectivity) {
+  int hits = 0;
+  for (uint64_t rowid = 0; rowid < 20000; ++rowid) {
+    hits += FilterPasses(rowid, 11, 0.3);
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Tuple, FilterExtremes) {
+  for (uint64_t rowid = 0; rowid < 100; ++rowid) {
+    EXPECT_FALSE(FilterPasses(rowid, 1, 0.0));
+    EXPECT_TRUE(FilterPasses(rowid, 1, 1.0));
+  }
+}
+
+TEST(Tuple, FilterIdChangesOutcomeSet) {
+  int diff = 0;
+  for (uint64_t rowid = 0; rowid < 1000; ++rowid) {
+    diff += FilterPasses(rowid, 1, 0.5) != FilterPasses(rowid, 2, 0.5);
+  }
+  EXPECT_GT(diff, 300);
+}
+
+TEST(ResultChecksum, OrderIndependent) {
+  Tuple a, b, c;
+  a.rowid = 1;
+  b.rowid = 2;
+  c.rowid = 3;
+  a.keys[0] = 5;
+  ResultChecksum x, y;
+  x.Add(a);
+  x.Add(b);
+  x.Add(c);
+  y.Add(c);
+  y.Add(a);
+  y.Add(b);
+  EXPECT_TRUE(x == y);
+  EXPECT_EQ(x.count(), 3);
+}
+
+TEST(ResultChecksum, DetectsDifferentMultisets) {
+  Tuple a, b;
+  a.rowid = 1;
+  b.rowid = 2;
+  ResultChecksum x, y;
+  x.Add(a);
+  y.Add(b);
+  EXPECT_FALSE(x == y);
+  // Duplicates matter.
+  ResultChecksum z, w;
+  z.Add(a);
+  z.Add(a);
+  w.Add(a);
+  EXPECT_FALSE(z == w);
+}
+
+TEST(Relation, GenerationIsDeterministic) {
+  RelationSpec spec;
+  spec.name = "R";
+  spec.cardinality = 500;
+  spec.key_domain = {100, 50, 1, 1};
+  const Relation a = GenerateRelation(spec, 3, Rng(42));
+  const Relation b = GenerateRelation(spec, 3, Rng(42));
+  ASSERT_EQ(a.cardinality(), 500);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.tuples[i].keys[0], b.tuples[i].keys[0]);
+    EXPECT_EQ(a.tuples[i].rowid, b.tuples[i].rowid);
+  }
+}
+
+TEST(Relation, KeysRespectDomains) {
+  RelationSpec spec;
+  spec.name = "R";
+  spec.cardinality = 2000;
+  spec.key_domain = {10, 1, 7, 1};
+  const Relation r = GenerateRelation(spec, 0, Rng(1));
+  for (const Tuple& t : r.tuples) {
+    EXPECT_GE(t.keys[0], 0);
+    EXPECT_LT(t.keys[0], 10);
+    EXPECT_EQ(t.keys[1], 0);  // domain 1 => unused field
+    EXPECT_LT(t.keys[2], 7);
+    EXPECT_EQ(t.keys[3], 0);
+  }
+}
+
+TEST(Relation, RowidsEncodeSourceAndSequence) {
+  RelationSpec spec;
+  spec.name = "R";
+  spec.cardinality = 3;
+  const Relation r = GenerateRelation(spec, 5, Rng(1));
+  EXPECT_EQ(r.tuples[0].rowid, MakeRowid(5, 0));
+  EXPECT_EQ(r.tuples[2].rowid, MakeRowid(5, 2));
+  EXPECT_NE(MakeRowid(5, 0), MakeRowid(6, 0));
+}
+
+TEST(Relation, EmptyRelation) {
+  RelationSpec spec;
+  spec.name = "Empty";
+  spec.cardinality = 0;
+  EXPECT_EQ(GenerateRelation(spec, 0, Rng(1)).cardinality(), 0);
+}
+
+TEST(MemoryAccountant, GrantAndRelease) {
+  MemoryAccountant mem(1000);
+  EXPECT_TRUE(mem.Grant(400).ok());
+  EXPECT_EQ(mem.granted(), 400);
+  EXPECT_EQ(mem.available(), 600);
+  mem.Release(100);
+  EXPECT_EQ(mem.granted(), 300);
+}
+
+TEST(MemoryAccountant, RejectsOverBudget) {
+  MemoryAccountant mem(1000);
+  EXPECT_TRUE(mem.Grant(900).ok());
+  const Status s = mem.Grant(200);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  // A failed grant reserves nothing.
+  EXPECT_EQ(mem.granted(), 900);
+}
+
+TEST(MemoryAccountant, TracksPeak) {
+  MemoryAccountant mem(1000);
+  ASSERT_TRUE(mem.Grant(700).ok());
+  mem.Release(700);
+  ASSERT_TRUE(mem.Grant(100).ok());
+  EXPECT_EQ(mem.peak(), 700);
+}
+
+TEST(MemoryAccountant, ExactBudgetFits) {
+  MemoryAccountant mem(256);
+  EXPECT_TRUE(mem.Grant(256).ok());
+  EXPECT_EQ(mem.available(), 0);
+  EXPECT_FALSE(mem.Grant(1).ok());
+}
+
+TEST(MemoryAccountant, ZeroGrantAlwaysSucceeds) {
+  MemoryAccountant mem(0);
+  EXPECT_TRUE(mem.Grant(0).ok());
+}
+
+}  // namespace
+}  // namespace dqsched::storage
