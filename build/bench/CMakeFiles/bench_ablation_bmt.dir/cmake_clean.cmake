@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bmt.dir/bench_ablation_bmt.cc.o"
+  "CMakeFiles/bench_ablation_bmt.dir/bench_ablation_bmt.cc.o.d"
+  "CMakeFiles/bench_ablation_bmt.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_bmt.dir/bench_common.cc.o.d"
+  "bench_ablation_bmt"
+  "bench_ablation_bmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delay_types.dir/bench_common.cc.o"
+  "CMakeFiles/bench_delay_types.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_delay_types.dir/bench_delay_types.cc.o"
+  "CMakeFiles/bench_delay_types.dir/bench_delay_types.cc.o.d"
+  "bench_delay_types"
+  "bench_delay_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

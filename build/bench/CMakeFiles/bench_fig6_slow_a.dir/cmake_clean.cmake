@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_slow_a.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig6_slow_a.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig6_slow_a.dir/bench_fig6_slow_a.cc.o"
+  "CMakeFiles/bench_fig6_slow_a.dir/bench_fig6_slow_a.cc.o.d"
+  "bench_fig6_slow_a"
+  "bench_fig6_slow_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_slow_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

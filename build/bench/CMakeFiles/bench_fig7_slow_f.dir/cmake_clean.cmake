@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_slow_f.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig7_slow_f.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig7_slow_f.dir/bench_fig7_slow_f.cc.o"
+  "CMakeFiles/bench_fig7_slow_f.dir/bench_fig7_slow_f.cc.o.d"
+  "bench_fig7_slow_f"
+  "bench_fig7_slow_f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_slow_f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

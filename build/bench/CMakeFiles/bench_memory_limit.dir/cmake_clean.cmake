@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_limit.dir/bench_common.cc.o"
+  "CMakeFiles/bench_memory_limit.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_memory_limit.dir/bench_memory_limit.cc.o"
+  "CMakeFiles/bench_memory_limit.dir/bench_memory_limit.cc.o.d"
+  "bench_memory_limit"
+  "bench_memory_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

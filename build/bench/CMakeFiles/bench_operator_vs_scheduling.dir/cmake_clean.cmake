@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_operator_vs_scheduling.dir/bench_common.cc.o"
+  "CMakeFiles/bench_operator_vs_scheduling.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_operator_vs_scheduling.dir/bench_operator_vs_scheduling.cc.o"
+  "CMakeFiles/bench_operator_vs_scheduling.dir/bench_operator_vs_scheduling.cc.o.d"
+  "bench_operator_vs_scheduling"
+  "bench_operator_vs_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_operator_vs_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scrambling.dir/bench_common.cc.o"
+  "CMakeFiles/bench_scrambling.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_scrambling.dir/bench_scrambling.cc.o"
+  "CMakeFiles/bench_scrambling.dir/bench_scrambling.cc.o.d"
+  "bench_scrambling"
+  "bench_scrambling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scrambling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

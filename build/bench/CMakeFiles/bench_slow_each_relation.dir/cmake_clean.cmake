@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slow_each_relation.dir/bench_common.cc.o"
+  "CMakeFiles/bench_slow_each_relation.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_slow_each_relation.dir/bench_slow_each_relation.cc.o"
+  "CMakeFiles/bench_slow_each_relation.dir/bench_slow_each_relation.cc.o.d"
+  "bench_slow_each_relation"
+  "bench_slow_each_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slow_each_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

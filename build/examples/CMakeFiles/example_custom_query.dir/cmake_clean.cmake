@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_query.dir/custom_query.cpp.o"
+  "CMakeFiles/example_custom_query.dir/custom_query.cpp.o.d"
+  "example_custom_query"
+  "example_custom_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

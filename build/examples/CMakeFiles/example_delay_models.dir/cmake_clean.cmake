@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_delay_models.dir/delay_models.cpp.o"
+  "CMakeFiles/example_delay_models.dir/delay_models.cpp.o.d"
+  "example_delay_models"
+  "example_delay_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_delay_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_memory_limited.dir/memory_limited.cpp.o"
+  "CMakeFiles/example_memory_limited.dir/memory_limited.cpp.o.d"
+  "example_memory_limited"
+  "example_memory_limited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_memory_limited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

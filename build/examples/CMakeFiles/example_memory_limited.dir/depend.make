@@ -1,0 +1,2 @@
+# Empty dependencies file for example_memory_limited.
+# This may be replaced when dependencies are built.

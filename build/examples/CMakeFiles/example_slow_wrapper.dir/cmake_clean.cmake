@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_slow_wrapper.dir/slow_wrapper.cpp.o"
+  "CMakeFiles/example_slow_wrapper.dir/slow_wrapper.cpp.o.d"
+  "example_slow_wrapper"
+  "example_slow_wrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_slow_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_execution.dir/trace_execution.cpp.o"
+  "CMakeFiles/example_trace_execution.dir/trace_execution.cpp.o.d"
+  "example_trace_execution"
+  "example_trace_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/comm_manager.cc" "src/CMakeFiles/dqsched.dir/comm/comm_manager.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/comm/comm_manager.cc.o.d"
+  "/root/repo/src/comm/rate_estimator.cc" "src/CMakeFiles/dqsched.dir/comm/rate_estimator.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/comm/rate_estimator.cc.o.d"
+  "/root/repo/src/comm/tuple_queue.cc" "src/CMakeFiles/dqsched.dir/comm/tuple_queue.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/comm/tuple_queue.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/dqsched.dir/common/random.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/common/random.cc.o.d"
+  "/root/repo/src/common/sim_time.cc" "src/CMakeFiles/dqsched.dir/common/sim_time.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/common/sim_time.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dqsched.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/dqsched.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/core/dphj.cc" "src/CMakeFiles/dqsched.dir/core/dphj.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/dphj.cc.o.d"
+  "/root/repo/src/core/dqo.cc" "src/CMakeFiles/dqsched.dir/core/dqo.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/dqo.cc.o.d"
+  "/root/repo/src/core/dqp.cc" "src/CMakeFiles/dqsched.dir/core/dqp.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/dqp.cc.o.d"
+  "/root/repo/src/core/dqs.cc" "src/CMakeFiles/dqsched.dir/core/dqs.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/dqs.cc.o.d"
+  "/root/repo/src/core/dse_strategy.cc" "src/CMakeFiles/dqsched.dir/core/dse_strategy.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/dse_strategy.cc.o.d"
+  "/root/repo/src/core/execution_state.cc" "src/CMakeFiles/dqsched.dir/core/execution_state.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/execution_state.cc.o.d"
+  "/root/repo/src/core/fragment.cc" "src/CMakeFiles/dqsched.dir/core/fragment.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/fragment.cc.o.d"
+  "/root/repo/src/core/lwb.cc" "src/CMakeFiles/dqsched.dir/core/lwb.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/lwb.cc.o.d"
+  "/root/repo/src/core/ma_strategy.cc" "src/CMakeFiles/dqsched.dir/core/ma_strategy.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/ma_strategy.cc.o.d"
+  "/root/repo/src/core/mediator.cc" "src/CMakeFiles/dqsched.dir/core/mediator.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/mediator.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/dqsched.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/multi_query.cc" "src/CMakeFiles/dqsched.dir/core/multi_query.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/multi_query.cc.o.d"
+  "/root/repo/src/core/scrambling.cc" "src/CMakeFiles/dqsched.dir/core/scrambling.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/scrambling.cc.o.d"
+  "/root/repo/src/core/seq_strategy.cc" "src/CMakeFiles/dqsched.dir/core/seq_strategy.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/seq_strategy.cc.o.d"
+  "/root/repo/src/core/strategy.cc" "src/CMakeFiles/dqsched.dir/core/strategy.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/strategy.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/CMakeFiles/dqsched.dir/core/trace.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/core/trace.cc.o.d"
+  "/root/repo/src/exec/chain_executor.cc" "src/CMakeFiles/dqsched.dir/exec/chain_executor.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/exec/chain_executor.cc.o.d"
+  "/root/repo/src/exec/chain_source.cc" "src/CMakeFiles/dqsched.dir/exec/chain_source.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/exec/chain_source.cc.o.d"
+  "/root/repo/src/exec/exec_context.cc" "src/CMakeFiles/dqsched.dir/exec/exec_context.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/exec/exec_context.cc.o.d"
+  "/root/repo/src/exec/hash_index.cc" "src/CMakeFiles/dqsched.dir/exec/hash_index.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/exec/hash_index.cc.o.d"
+  "/root/repo/src/exec/operand.cc" "src/CMakeFiles/dqsched.dir/exec/operand.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/exec/operand.cc.o.d"
+  "/root/repo/src/plan/annotator.cc" "src/CMakeFiles/dqsched.dir/plan/annotator.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/plan/annotator.cc.o.d"
+  "/root/repo/src/plan/canonical_plans.cc" "src/CMakeFiles/dqsched.dir/plan/canonical_plans.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/plan/canonical_plans.cc.o.d"
+  "/root/repo/src/plan/compiled_plan.cc" "src/CMakeFiles/dqsched.dir/plan/compiled_plan.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/plan/compiled_plan.cc.o.d"
+  "/root/repo/src/plan/optimizer.cc" "src/CMakeFiles/dqsched.dir/plan/optimizer.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/plan/optimizer.cc.o.d"
+  "/root/repo/src/plan/plan_node.cc" "src/CMakeFiles/dqsched.dir/plan/plan_node.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/plan/plan_node.cc.o.d"
+  "/root/repo/src/plan/query_generator.cc" "src/CMakeFiles/dqsched.dir/plan/query_generator.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/plan/query_generator.cc.o.d"
+  "/root/repo/src/plan/reference_executor.cc" "src/CMakeFiles/dqsched.dir/plan/reference_executor.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/plan/reference_executor.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/dqsched.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/disk.cc" "src/CMakeFiles/dqsched.dir/sim/disk.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/sim/disk.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/dqsched.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/sim_clock.cc" "src/CMakeFiles/dqsched.dir/sim/sim_clock.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/sim/sim_clock.cc.o.d"
+  "/root/repo/src/storage/memory_accountant.cc" "src/CMakeFiles/dqsched.dir/storage/memory_accountant.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/storage/memory_accountant.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/CMakeFiles/dqsched.dir/storage/relation.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/storage/relation.cc.o.d"
+  "/root/repo/src/storage/temp_store.cc" "src/CMakeFiles/dqsched.dir/storage/temp_store.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/storage/temp_store.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/CMakeFiles/dqsched.dir/storage/tuple.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/storage/tuple.cc.o.d"
+  "/root/repo/src/wrapper/catalog.cc" "src/CMakeFiles/dqsched.dir/wrapper/catalog.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/wrapper/catalog.cc.o.d"
+  "/root/repo/src/wrapper/delay_model.cc" "src/CMakeFiles/dqsched.dir/wrapper/delay_model.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/wrapper/delay_model.cc.o.d"
+  "/root/repo/src/wrapper/wrapper.cc" "src/CMakeFiles/dqsched.dir/wrapper/wrapper.cc.o" "gcc" "src/CMakeFiles/dqsched.dir/wrapper/wrapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/dqsched.dir/core/fragment.cc.o: \
+ /root/repo/src/core/fragment.cc /usr/include/stdc-predef.h \
+ /root/repo/src/core/events.h

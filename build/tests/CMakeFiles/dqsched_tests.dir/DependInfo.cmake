@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/annotator_reference_test.cc" "tests/CMakeFiles/dqsched_tests.dir/annotator_reference_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/annotator_reference_test.cc.o.d"
+  "/root/repo/tests/chain_executor_test.cc" "tests/CMakeFiles/dqsched_tests.dir/chain_executor_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/chain_executor_test.cc.o.d"
+  "/root/repo/tests/chain_source_test.cc" "tests/CMakeFiles/dqsched_tests.dir/chain_source_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/chain_source_test.cc.o.d"
+  "/root/repo/tests/compiled_plan_test.cc" "tests/CMakeFiles/dqsched_tests.dir/compiled_plan_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/compiled_plan_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/dqsched_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/delay_model_test.cc" "tests/CMakeFiles/dqsched_tests.dir/delay_model_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/delay_model_test.cc.o.d"
+  "/root/repo/tests/dphj_test.cc" "tests/CMakeFiles/dqsched_tests.dir/dphj_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/dphj_test.cc.o.d"
+  "/root/repo/tests/dqs_dqp_test.cc" "tests/CMakeFiles/dqsched_tests.dir/dqs_dqp_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/dqs_dqp_test.cc.o.d"
+  "/root/repo/tests/execution_state_test.cc" "tests/CMakeFiles/dqsched_tests.dir/execution_state_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/execution_state_test.cc.o.d"
+  "/root/repo/tests/hash_index_test.cc" "tests/CMakeFiles/dqsched_tests.dir/hash_index_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/hash_index_test.cc.o.d"
+  "/root/repo/tests/integration_strategies_test.cc" "tests/CMakeFiles/dqsched_tests.dir/integration_strategies_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/integration_strategies_test.cc.o.d"
+  "/root/repo/tests/lwb_mediator_test.cc" "tests/CMakeFiles/dqsched_tests.dir/lwb_mediator_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/lwb_mediator_test.cc.o.d"
+  "/root/repo/tests/multi_query_test.cc" "tests/CMakeFiles/dqsched_tests.dir/multi_query_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/multi_query_test.cc.o.d"
+  "/root/repo/tests/operand_test.cc" "tests/CMakeFiles/dqsched_tests.dir/operand_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/operand_test.cc.o.d"
+  "/root/repo/tests/optimizer_generator_test.cc" "tests/CMakeFiles/dqsched_tests.dir/optimizer_generator_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/optimizer_generator_test.cc.o.d"
+  "/root/repo/tests/plan_test.cc" "tests/CMakeFiles/dqsched_tests.dir/plan_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/plan_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/dqsched_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/dqsched_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/scrambling_test.cc" "tests/CMakeFiles/dqsched_tests.dir/scrambling_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/scrambling_test.cc.o.d"
+  "/root/repo/tests/sim_clock_disk_test.cc" "tests/CMakeFiles/dqsched_tests.dir/sim_clock_disk_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/sim_clock_disk_test.cc.o.d"
+  "/root/repo/tests/sim_time_test.cc" "tests/CMakeFiles/dqsched_tests.dir/sim_time_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/sim_time_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/dqsched_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/strategy_semantics_test.cc" "tests/CMakeFiles/dqsched_tests.dir/strategy_semantics_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/strategy_semantics_test.cc.o.d"
+  "/root/repo/tests/temp_store_test.cc" "tests/CMakeFiles/dqsched_tests.dir/temp_store_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/temp_store_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/dqsched_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/tuple_relation_test.cc" "tests/CMakeFiles/dqsched_tests.dir/tuple_relation_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/tuple_relation_test.cc.o.d"
+  "/root/repo/tests/wrapper_comm_test.cc" "tests/CMakeFiles/dqsched_tests.dir/wrapper_comm_test.cc.o" "gcc" "tests/CMakeFiles/dqsched_tests.dir/wrapper_comm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dqsched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

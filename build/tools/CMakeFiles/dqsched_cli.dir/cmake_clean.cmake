@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqsched_cli.dir/dqsched_cli.cc.o"
+  "CMakeFiles/dqsched_cli.dir/dqsched_cli.cc.o.d"
+  "dqsched_cli"
+  "dqsched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqsched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
