@@ -19,14 +19,22 @@ int main(int argc, char** argv) {
   setup.catalog.sources[0].delay.mean_us *= 3.0;  // give DSE work to overlap
 
   const int64_t batch_sizes[] = {16, 64, 128, 512, 2048, 8192};
-  TablePrinter table({"batch (tuples)", "DSE (s)", "execution phases",
-                      "planning phases", "stalled (s)"});
+  std::vector<bench::MeasureCell> cells;
   for (int64_t batch : batch_sizes) {
     core::MediatorConfig config = bench::DefaultConfig(options);
     config.strategy.dqp.batch_size = batch;
-    const auto dse = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kDse, options.repeats);
-    table.AddRow({std::to_string(batch), bench::Cell(dse),
+    cells.push_back([&setup, config, &options] {
+      return bench::MeasureStrategy(setup, config, core::StrategyKind::kDse,
+                                    options.repeats);
+    });
+  }
+  const auto results = bench::RunCells(options, cells);
+
+  TablePrinter table({"batch (tuples)", "DSE (s)", "execution phases",
+                      "planning phases", "stalled (s)"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const auto& dse = results[i];
+    table.AddRow({std::to_string(batch_sizes[i]), bench::Cell(dse),
                   std::to_string(dse.metrics.execution_phases),
                   std::to_string(dse.metrics.planning_phases),
                   TablePrinter::Num(ToSecondsF(dse.metrics.stalled_time))});

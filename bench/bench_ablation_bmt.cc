@@ -19,13 +19,22 @@ int main(int argc, char** argv) {
   setup.catalog.sources[0].delay.mean_us *= 3.0;
 
   const double bmt_values[] = {0.1, 0.5, 1.0, 1.5, 2.0, 5.0, 1e9};
-  TablePrinter table({"bmt", "DSE (s)", "degradations", "disk pages written",
-                      "stalled (s)"});
+  std::vector<bench::MeasureCell> cells;
   for (double bmt : bmt_values) {
     core::MediatorConfig config = bench::DefaultConfig(options);
     config.strategy.dqs.bmt = bmt;
-    const auto dse = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kDse, options.repeats);
+    cells.push_back([&setup, config, &options] {
+      return bench::MeasureStrategy(setup, config, core::StrategyKind::kDse,
+                                    options.repeats);
+    });
+  }
+  const auto results = bench::RunCells(options, cells);
+
+  TablePrinter table({"bmt", "DSE (s)", "degradations", "disk pages written",
+                      "stalled (s)"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const double bmt = bmt_values[i];
+    const auto& dse = results[i];
     table.AddRow({bmt > 1e6 ? "inf" : TablePrinter::Num(bmt, 1),
                   bench::Cell(dse),
                   std::to_string(dse.metrics.degradations),

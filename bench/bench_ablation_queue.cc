@@ -17,16 +17,25 @@ int main(int argc, char** argv) {
   plan::QuerySetup setup = plan::PaperFigure5Query(options.scale);
 
   const int64_t capacities[] = {64, 256, 1024, 4096, 16384};
-  TablePrinter table(
-      {"queue capacity (tuples)", "SEQ (s)", "DSE (s)", "DSE gain (%)"});
+  std::vector<bench::MeasureCell> cells;
   for (int64_t capacity : capacities) {
     core::MediatorConfig config = bench::DefaultConfig(options);
     config.comm.queue_capacity = capacity;
-    const auto seq = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kSeq, options.repeats);
-    const auto dse = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kDse, options.repeats);
-    table.AddRow({std::to_string(capacity), bench::Cell(seq),
+    for (core::StrategyKind kind :
+         {core::StrategyKind::kSeq, core::StrategyKind::kDse}) {
+      cells.push_back([&setup, config, kind, &options] {
+        return bench::MeasureStrategy(setup, config, kind, options.repeats);
+      });
+    }
+  }
+  const auto results = bench::RunCells(options, cells);
+
+  TablePrinter table(
+      {"queue capacity (tuples)", "SEQ (s)", "DSE (s)", "DSE gain (%)"});
+  for (size_t i = 0; i < std::size(capacities); ++i) {
+    const auto& seq = results[2 * i];
+    const auto& dse = results[2 * i + 1];
+    table.AddRow({std::to_string(capacities[i]), bench::Cell(seq),
                   bench::Cell(dse), bench::GainCell(seq, dse)});
   }
   if (options.csv) {

@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -8,32 +9,93 @@
 
 namespace dqsched::bench {
 
-BenchOptions ParseOptions(int argc, char** argv, double default_scale) {
+namespace {
+
+/// Strict numeric parsers: the whole value must convert, so "--jobs=two"
+/// is a usage error instead of a silent zero.
+bool ParseDoubleArg(const char* text, double* out) {
+  if (*text == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseIntArg(const char* text, long long* out) {
+  if (*text == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<BenchOptions> TryParseOptions(int argc, char** argv,
+                                            double default_scale,
+                                            std::string* error) {
   BenchOptions options;
   options.scale = default_scale;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    long long n = 0;
     if (std::strncmp(arg, "--scale=", 8) == 0) {
-      options.scale = std::atof(arg + 8);
+      if (!ParseDoubleArg(arg + 8, &options.scale)) {
+        *error = std::string("bad value in ") + arg;
+        return std::nullopt;
+      }
     } else if (std::strncmp(arg, "--repeats=", 10) == 0) {
-      options.repeats = std::atoi(arg + 10);
+      if (!ParseIntArg(arg + 10, &n)) {
+        *error = std::string("bad value in ") + arg;
+        return std::nullopt;
+      }
+      options.repeats = static_cast<int>(n);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      options.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+      if (!ParseIntArg(arg + 7, &n) || n < 0) {
+        *error = std::string("bad value in ") + arg;
+        return std::nullopt;
+      }
+      options.seed = static_cast<uint64_t>(n);
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      if (!ParseIntArg(arg + 7, &n) || n < 0) {
+        *error = std::string("bad value in ") + arg;
+        return std::nullopt;
+      }
+      options.jobs = static_cast<int>(n);
     } else if (std::strcmp(arg, "--csv") == 0) {
       options.csv = true;
     } else {
-      std::fprintf(stderr,
-                   "unknown flag %s\nusage: %s [--scale=F] [--repeats=N] "
-                   "[--seed=N] [--csv]\n",
-                   arg, argv[0]);
-      std::exit(2);
+      *error = std::string("unknown flag ") + arg;
+      return std::nullopt;
     }
   }
-  if (options.scale <= 0 || options.repeats < 1) {
-    std::fprintf(stderr, "scale must be > 0 and repeats >= 1\n");
-    std::exit(2);
+  if (options.scale <= 0) {
+    *error = "scale must be > 0";
+    return std::nullopt;
+  }
+  if (options.repeats < 1) {
+    *error = "repeats must be >= 1";
+    return std::nullopt;
   }
   return options;
+}
+
+BenchOptions ParseOptions(int argc, char** argv, double default_scale) {
+  std::string error;
+  std::optional<BenchOptions> options =
+      TryParseOptions(argc, argv, default_scale, &error);
+  if (!options) {
+    std::fprintf(stderr,
+                 "%s\nusage: %s [--scale=F] [--repeats=N] [--seed=N] "
+                 "[--jobs=N] [--csv]\n",
+                 error.c_str(), argv[0]);
+    std::exit(2);
+  }
+  return *options;
 }
 
 core::MediatorConfig DefaultConfig(const BenchOptions& options) {
@@ -69,6 +131,68 @@ StrategyOutcome MeasureStrategy(const plan::QuerySetup& setup,
   return outcome;
 }
 
+StrategyOutcome MeasureScrambling(const plan::QuerySetup& setup,
+                                  const core::MediatorConfig& config,
+                                  SimDuration timeout, int repeats) {
+  StrategyOutcome outcome;
+  double total = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    core::MediatorConfig run_config = config;
+    run_config.seed = config.seed + static_cast<uint64_t>(r) * 7919;
+    Result<core::Mediator> mediator =
+        core::Mediator::Create(setup.catalog, setup.plan, run_config);
+    if (!mediator.ok()) {
+      outcome.error = mediator.status().ToString();
+      return outcome;
+    }
+    Result<core::ExecutionMetrics> metrics =
+        mediator->ExecuteScrambling(timeout);
+    if (!metrics.ok()) {
+      outcome.error = metrics.status().ToString();
+      return outcome;
+    }
+    total += ToSecondsF(metrics->response_time);
+    outcome.metrics = *metrics;
+  }
+  outcome.ok = true;
+  outcome.seconds = total / repeats;
+  return outcome;
+}
+
+StrategyOutcome MeasureDphj(const plan::QuerySetup& setup,
+                            const core::MediatorConfig& config,
+                            int repeats) {
+  StrategyOutcome outcome;
+  double total = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    core::MediatorConfig run_config = config;
+    run_config.seed = config.seed + static_cast<uint64_t>(r) * 7919;
+    Result<core::Mediator> mediator =
+        core::Mediator::Create(setup.catalog, setup.plan, run_config);
+    if (!mediator.ok()) {
+      outcome.error = mediator.status().ToString();
+      return outcome;
+    }
+    Result<core::ExecutionMetrics> metrics = mediator->ExecuteDphj();
+    if (!metrics.ok()) {
+      outcome.error = metrics.status().ToString();
+      return outcome;
+    }
+    total += ToSecondsF(metrics->response_time);
+    outcome.metrics = *metrics;
+  }
+  outcome.ok = true;
+  outcome.seconds = total / repeats;
+  return outcome;
+}
+
+std::vector<StrategyOutcome> RunCells(const BenchOptions& options,
+                                      const std::vector<MeasureCell>& cells) {
+  const ParallelRunner runner(options.jobs);
+  return RunIndexed<StrategyOutcome>(
+      runner, cells.size(), [&cells](size_t i) { return cells[i](); });
+}
+
 double LwbSeconds(const plan::QuerySetup& setup,
                   const core::MediatorConfig& config) {
   Result<core::Mediator> mediator =
@@ -92,9 +216,10 @@ void PrintPreamble(const char* title, const char* paper_artifact,
                    const BenchOptions& options) {
   std::printf("== %s ==\n", title);
   std::printf("reproduces: %s\n", paper_artifact);
-  std::printf("scale=%.2f repeats=%d seed=%llu\n\n", options.scale,
+  std::printf("scale=%.2f repeats=%d seed=%llu jobs=%d\n\n", options.scale,
               options.repeats,
-              static_cast<unsigned long long>(options.seed));
+              static_cast<unsigned long long>(options.seed),
+              options.jobs > 0 ? options.jobs : ParallelRunner::DefaultJobs());
 }
 
 void RunSlowOneRelationBench(const char* relation,
@@ -124,24 +249,45 @@ void RunSlowOneRelationBench(const char* relation,
     if (scaled > base_total_s * 1.01) targets_s.push_back(scaled);
   }
 
-  TablePrinter table({"retrieval of " + std::string(relation) + " (s)",
-                      "w (us)", "SEQ (s)", "DSE (s)", "MA (s)", "LWB (s)",
-                      "DSE gain over SEQ (%)"});
+  // Every (target, strategy) point and every LWB is an independent cell.
+  std::vector<plan::QuerySetup> setups;
+  std::vector<MeasureCell> cells;
+  std::vector<double> w_values;
   for (double target : targets_s) {
     plan::QuerySetup setup = base;
     const double w_us = target * 1e6 / static_cast<double>(n);
     setup.catalog.source(slowed).delay.mean_us = w_us;
-    const StrategyOutcome seq =
-        MeasureStrategy(setup, config, core::StrategyKind::kSeq,
-                        options.repeats);
-    const StrategyOutcome dse =
-        MeasureStrategy(setup, config, core::StrategyKind::kDse,
-                        options.repeats);
-    const StrategyOutcome ma = MeasureStrategy(
-        setup, config, core::StrategyKind::kMa, options.repeats);
-    const double lwb = LwbSeconds(setup, config);
-    table.AddRow({TablePrinter::Num(target, 2), TablePrinter::Num(w_us, 1),
-                  Cell(seq), Cell(dse), Cell(ma), TablePrinter::Num(lwb),
+    w_values.push_back(w_us);
+    setups.push_back(std::move(setup));
+  }
+  for (const plan::QuerySetup& setup : setups) {
+    for (core::StrategyKind kind :
+         {core::StrategyKind::kSeq, core::StrategyKind::kDse,
+          core::StrategyKind::kMa}) {
+      cells.push_back([&setup, &config, kind, &options] {
+        return MeasureStrategy(setup, config, kind, options.repeats);
+      });
+    }
+    cells.push_back([&setup, &config] {
+      StrategyOutcome lwb;
+      lwb.ok = true;
+      lwb.seconds = LwbSeconds(setup, config);
+      return lwb;
+    });
+  }
+  const std::vector<StrategyOutcome> results = RunCells(options, cells);
+
+  TablePrinter table({"retrieval of " + std::string(relation) + " (s)",
+                      "w (us)", "SEQ (s)", "DSE (s)", "MA (s)", "LWB (s)",
+                      "DSE gain over SEQ (%)"});
+  for (size_t i = 0; i < targets_s.size(); ++i) {
+    const StrategyOutcome& seq = results[4 * i];
+    const StrategyOutcome& dse = results[4 * i + 1];
+    const StrategyOutcome& ma = results[4 * i + 2];
+    const StrategyOutcome& lwb = results[4 * i + 3];
+    table.AddRow({TablePrinter::Num(targets_s[i], 2),
+                  TablePrinter::Num(w_values[i], 1), Cell(seq), Cell(dse),
+                  Cell(ma), TablePrinter::Num(lwb.seconds),
                   GainCell(seq, dse)});
   }
   if (options.csv) {

@@ -6,10 +6,13 @@
 #ifndef DQSCHED_BENCH_BENCH_COMMON_H_
 #define DQSCHED_BENCH_BENCH_COMMON_H_
 
+#include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/mediator.h"
+#include "parallel_runner.h"
 #include "plan/canonical_plans.h"
 
 namespace dqsched::bench {
@@ -20,13 +23,22 @@ namespace dqsched::bench {
 ///                  (the paper averaged 3; the simulator is deterministic
 ///                  per seed, so 1 is representative)
 ///   --seed=<n>     base seed
+///   --jobs=<n>     worker threads for the cell grid (0 = hardware
+///                  concurrency); results are identical for every value
 ///   --csv          machine-readable output
 struct BenchOptions {
   double scale = 1.0;
   int repeats = 1;
   uint64_t seed = 42;
+  int jobs = 0;  // 0 = hardware concurrency
   bool csv = false;
 };
+
+/// Parses argv strictly (malformed numbers are rejected, not coerced to
+/// zero). On failure returns the offending diagnostic in `error`.
+std::optional<BenchOptions> TryParseOptions(int argc, char** argv,
+                                            double default_scale,
+                                            std::string* error);
 
 /// Parses argv; unknown flags abort with usage.
 BenchOptions ParseOptions(int argc, char** argv, double default_scale = 1.0);
@@ -44,6 +56,24 @@ struct StrategyOutcome {
 StrategyOutcome MeasureStrategy(const plan::QuerySetup& setup,
                                 const core::MediatorConfig& config,
                                 core::StrategyKind kind, int repeats);
+
+/// Like MeasureStrategy, for query scrambling with the given timeout.
+StrategyOutcome MeasureScrambling(const plan::QuerySetup& setup,
+                                  const core::MediatorConfig& config,
+                                  SimDuration timeout, int repeats);
+
+/// Like MeasureStrategy, for double-pipelined hash joins.
+StrategyOutcome MeasureDphj(const plan::QuerySetup& setup,
+                            const core::MediatorConfig& config, int repeats);
+
+/// One deferred measurement of a bench grid.
+using MeasureCell = std::function<StrategyOutcome()>;
+
+/// Executes the cells on options.jobs workers (work stealing, see
+/// parallel_runner.h) and returns the outcomes in input order — the
+/// printed tables are byte-identical for every --jobs value.
+std::vector<StrategyOutcome> RunCells(const BenchOptions& options,
+                                      const std::vector<MeasureCell>& cells);
 
 /// The analytic lower bound for the setup, seconds (first seed's data).
 double LwbSeconds(const plan::QuerySetup& setup,

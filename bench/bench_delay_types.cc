@@ -45,20 +45,38 @@ int main(int argc, char** argv) {
     cases.push_back(c);
   }
 
-  TablePrinter table({"delay type of A", "SEQ (s)", "DSE (s)", "MA (s)",
-                      "LWB (s)", "DSE gain (%)"});
+  std::vector<plan::QuerySetup> setups;
   for (const Case& c : cases) {
     plan::QuerySetup setup = plan::PaperFigure5Query(options.scale);
     setup.catalog.sources[0].delay = c.delay;
-    const auto seq = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kSeq, options.repeats);
-    const auto dse = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kDse, options.repeats);
-    const auto ma = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kMa, options.repeats);
-    table.AddRow({c.label, bench::Cell(seq), bench::Cell(dse),
-                  bench::Cell(ma),
-                  TablePrinter::Num(bench::LwbSeconds(setup, config)),
+    setups.push_back(std::move(setup));
+  }
+  std::vector<bench::MeasureCell> cells;
+  for (const plan::QuerySetup& setup : setups) {
+    for (core::StrategyKind kind :
+         {core::StrategyKind::kSeq, core::StrategyKind::kDse,
+          core::StrategyKind::kMa}) {
+      cells.push_back([&setup, &config, kind, &options] {
+        return bench::MeasureStrategy(setup, config, kind, options.repeats);
+      });
+    }
+    cells.push_back([&setup, &config] {
+      bench::StrategyOutcome lwb;
+      lwb.ok = true;
+      lwb.seconds = bench::LwbSeconds(setup, config);
+      return lwb;
+    });
+  }
+  const auto results = bench::RunCells(options, cells);
+
+  TablePrinter table({"delay type of A", "SEQ (s)", "DSE (s)", "MA (s)",
+                      "LWB (s)", "DSE gain (%)"});
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const auto& seq = results[4 * i];
+    const auto& dse = results[4 * i + 1];
+    table.AddRow({cases[i].label, bench::Cell(seq), bench::Cell(dse),
+                  bench::Cell(results[4 * i + 2]),
+                  TablePrinter::Num(results[4 * i + 3].seconds),
                   bench::GainCell(seq, dse)});
   }
   if (options.csv) {

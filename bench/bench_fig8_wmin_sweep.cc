@@ -19,17 +19,36 @@ int main(int argc, char** argv) {
 
   const double w_values_us[] = {5,  10, 15, 20, 25, 30, 35,
                                 40, 50, 60, 80, 100, 120};
+  // Three independent cells per w_min point: SEQ, DSE, and the LWB.
+  std::vector<plan::QuerySetup> setups;
+  for (double w : w_values_us) {
+    setups.push_back(plan::PaperFigure5Query(options.scale, w));
+  }
+  std::vector<bench::MeasureCell> cells;
+  for (const plan::QuerySetup& setup : setups) {
+    for (core::StrategyKind kind :
+         {core::StrategyKind::kSeq, core::StrategyKind::kDse}) {
+      cells.push_back([&setup, &config, kind, &options] {
+        return bench::MeasureStrategy(setup, config, kind, options.repeats);
+      });
+    }
+    cells.push_back([&setup, &config] {
+      bench::StrategyOutcome lwb;
+      lwb.ok = true;
+      lwb.seconds = bench::LwbSeconds(setup, config);
+      return lwb;
+    });
+  }
+  const auto results = bench::RunCells(options, cells);
+
   TablePrinter table({"w_min (us)", "SEQ (s)", "DSE (s)", "LWB (s)",
                       "DSE gain (%)", ""});
-  for (double w : w_values_us) {
-    plan::QuerySetup setup = plan::PaperFigure5Query(options.scale, w);
-    const auto seq = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kSeq, options.repeats);
-    const auto dse = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kDse, options.repeats);
-    const double lwb = bench::LwbSeconds(setup, config);
+  for (size_t i = 0; i < setups.size(); ++i) {
+    const double w = w_values_us[i];
+    const auto& seq = results[3 * i];
+    const auto& dse = results[3 * i + 1];
     table.AddRow({TablePrinter::Num(w, 0), bench::Cell(seq),
-                  bench::Cell(dse), TablePrinter::Num(lwb),
+                  bench::Cell(dse), TablePrinter::Num(results[3 * i + 2].seconds),
                   bench::GainCell(seq, dse),
                   w == 20 ? "<- 100 Mb/s network (paper's w_min)" : ""});
   }

@@ -18,14 +18,23 @@ int main(int argc, char** argv) {
   plan::QuerySetup setup = plan::PaperFigure5Query(options.scale);
 
   const double budgets_mb[] = {1, 2, 3, 4, 6, 8, 16, 32, 64};
-  TablePrinter table({"memory (MB)", "DSE (s)", "DQO splits",
-                      "operand spills", "peak (MB)", "disk pages W",
-                      "note"});
+  std::vector<bench::MeasureCell> cells;
   for (double mb : budgets_mb) {
     core::MediatorConfig config = bench::DefaultConfig(options);
     config.memory_budget_bytes = static_cast<int64_t>(mb * 1024 * 1024);
-    const auto dse = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kDse, options.repeats);
+    cells.push_back([&setup, config, &options] {
+      return bench::MeasureStrategy(setup, config, core::StrategyKind::kDse,
+                                    options.repeats);
+    });
+  }
+  const auto results = bench::RunCells(options, cells);
+
+  TablePrinter table({"memory (MB)", "DSE (s)", "DQO splits",
+                      "operand spills", "peak (MB)", "disk pages W",
+                      "note"});
+  for (size_t i = 0; i < std::size(budgets_mb); ++i) {
+    const double mb = budgets_mb[i];
+    const auto& dse = results[i];
     if (!dse.ok) {
       table.AddRow({TablePrinter::Num(mb, 0), "-", "-", "-", "-", "-",
                     "infeasible: " + dse.error});

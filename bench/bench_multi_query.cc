@@ -17,40 +17,73 @@ int main(int argc, char** argv) {
                        "Section 6 (future work: multi-query execution)",
                        options);
 
-  TablePrinter table({"queries", "mode", "per-query", "makespan (s)",
-                      "mean response (s)", "total degradations"});
+  // One cell per (n, mode, strategy); each builds its own mix + mediator
+  // so cells stay independent across worker threads.
+  struct MultiCell {
+    int n;
+    core::MultiMode mode;
+    core::StrategyKind kind;
+  };
+  std::vector<MultiCell> grid;
   for (int n : {1, 2, 4, 8}) {
-    std::vector<plan::QuerySetup> mix;
-    for (int i = 0; i < n; ++i) {
-      // Stagger seeds so the queries are distinct workload instances.
-      mix.push_back(plan::PaperFigure5Query(options.scale));
-    }
-    core::MultiQueryConfig config;
-    config.seed = options.seed;
-    Result<core::MultiQueryMediator> mediator =
-        core::MultiQueryMediator::Create(std::move(mix), config);
-    if (!mediator.ok()) {
-      std::fprintf(stderr, "%s\n", mediator.status().ToString().c_str());
-      return 1;
-    }
     for (core::MultiMode mode :
          {core::MultiMode::kSerial, core::MultiMode::kShared}) {
       for (core::StrategyKind kind :
            {core::StrategyKind::kSeq, core::StrategyKind::kDse}) {
-        Result<core::MultiQueryMetrics> r = mediator->Execute(kind, mode);
-        if (!r.ok()) {
-          std::fprintf(stderr, "n=%d %s/%s: %s\n", n,
-                       core::MultiModeName(mode), core::StrategyName(kind),
-                       r.status().ToString().c_str());
-          return 1;
-        }
-        table.AddRow({std::to_string(n), core::MultiModeName(mode),
-                      core::StrategyName(kind),
-                      TablePrinter::Num(ToSecondsF(r->makespan)),
-                      TablePrinter::Num(ToSecondsF(r->mean_response)),
-                      std::to_string(r->total_degradations)});
+        grid.push_back({n, mode, kind});
       }
     }
+  }
+  struct MultiOutcome {
+    bool ok = false;
+    std::string error;
+    core::MultiQueryMetrics metrics;
+  };
+  const bench::ParallelRunner runner(options.jobs);
+  const auto results = bench::RunIndexed<MultiOutcome>(
+      runner, grid.size(), [&grid, &options](size_t i) {
+        const MultiCell& cell = grid[i];
+        MultiOutcome out;
+        std::vector<plan::QuerySetup> mix;
+        for (int q = 0; q < cell.n; ++q) {
+          // Stagger seeds so the queries are distinct workload instances.
+          mix.push_back(plan::PaperFigure5Query(options.scale));
+        }
+        core::MultiQueryConfig config;
+        config.seed = options.seed;
+        Result<core::MultiQueryMediator> mediator =
+            core::MultiQueryMediator::Create(std::move(mix), config);
+        if (!mediator.ok()) {
+          out.error = mediator.status().ToString();
+          return out;
+        }
+        Result<core::MultiQueryMetrics> r =
+            mediator->Execute(cell.kind, cell.mode);
+        if (!r.ok()) {
+          out.error = r.status().ToString();
+          return out;
+        }
+        out.ok = true;
+        out.metrics = *r;
+        return out;
+      });
+
+  TablePrinter table({"queries", "mode", "per-query", "makespan (s)",
+                      "mean response (s)", "total degradations"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const MultiCell& cell = grid[i];
+    const MultiOutcome& r = results[i];
+    if (!r.ok) {
+      std::fprintf(stderr, "n=%d %s/%s: %s\n", cell.n,
+                   core::MultiModeName(cell.mode),
+                   core::StrategyName(cell.kind), r.error.c_str());
+      return 1;
+    }
+    table.AddRow({std::to_string(cell.n), core::MultiModeName(cell.mode),
+                  core::StrategyName(cell.kind),
+                  TablePrinter::Num(ToSecondsF(r.metrics.makespan)),
+                  TablePrinter::Num(ToSecondsF(r.metrics.mean_response)),
+                  std::to_string(r.metrics.total_degradations)});
   }
   if (options.csv) {
     table.PrintCsv(stdout);

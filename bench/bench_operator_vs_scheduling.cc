@@ -30,8 +30,7 @@ int main(int argc, char** argv) {
       {"slow A (4x)", wrapper::DelayKind::kSlow, 4.0},
   };
 
-  TablePrinter table({"delay", "SEQ (s)", "DSE (s)", "DPHJ (s)",
-                      "DSE peak (MB)", "DPHJ peak (MB)"});
+  std::vector<plan::QuerySetup> setups;
   for (const Case& c : cases) {
     plan::QuerySetup setup = plan::PaperFigure5Query(options.scale);
     wrapper::DelayConfig& delay = setup.catalog.sources[0].delay;
@@ -40,34 +39,39 @@ int main(int argc, char** argv) {
     delay.burst_length = 1000;
     delay.burst_gap_ms = c.param;
     delay.slow_factor = c.kind == wrapper::DelayKind::kSlow ? c.param : 1.0;
-
-    const auto seq = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kSeq, options.repeats);
-    const auto dse = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kDse, options.repeats);
-
-    Result<core::Mediator> mediator =
-        core::Mediator::Create(setup.catalog, setup.plan, config);
-    std::string dphj_cell = "FAIL";
-    std::string dphj_mem = "-";
-    int64_t dphj_peak = 0;
-    if (mediator.ok()) {
-      Result<core::ExecutionMetrics> dphj = mediator->ExecuteDphj();
-      if (dphj.ok()) {
-        dphj_cell = TablePrinter::Num(ToSecondsF(dphj->response_time));
-        dphj_peak = dphj->peak_memory_bytes;
-        dphj_mem = TablePrinter::Num(
-            static_cast<double>(dphj_peak) / 1048576.0, 1);
-      } else {
-        dphj_cell = "FAIL(" + dphj.status().ToString() + ")";
-      }
+    setups.push_back(std::move(setup));
+  }
+  std::vector<bench::MeasureCell> cells;
+  for (const plan::QuerySetup& setup : setups) {
+    for (core::StrategyKind kind :
+         {core::StrategyKind::kSeq, core::StrategyKind::kDse}) {
+      cells.push_back([&setup, &config, kind, &options] {
+        return bench::MeasureStrategy(setup, config, kind, options.repeats);
+      });
     }
-    table.AddRow({c.label, bench::Cell(seq), bench::Cell(dse), dphj_cell,
-                  TablePrinter::Num(
-                      static_cast<double>(dse.metrics.peak_memory_bytes) /
-                          1048576.0,
-                      1),
-                  dphj_mem});
+    cells.push_back([&setup, &config, &options] {
+      return bench::MeasureDphj(setup, config, options.repeats);
+    });
+  }
+  const auto results = bench::RunCells(options, cells);
+
+  TablePrinter table({"delay", "SEQ (s)", "DSE (s)", "DPHJ (s)",
+                      "DSE peak (MB)", "DPHJ peak (MB)"});
+  for (size_t i = 0; i < std::size(cases); ++i) {
+    const auto& seq = results[3 * i];
+    const auto& dse = results[3 * i + 1];
+    const auto& dphj = results[3 * i + 2];
+    table.AddRow(
+        {cases[i].label, bench::Cell(seq), bench::Cell(dse),
+         bench::Cell(dphj),
+         TablePrinter::Num(
+             static_cast<double>(dse.metrics.peak_memory_bytes) / 1048576.0,
+             1),
+         dphj.ok ? TablePrinter::Num(
+                       static_cast<double>(dphj.metrics.peak_memory_bytes) /
+                           1048576.0,
+                       1)
+                 : "-"});
   }
   if (options.csv) {
     table.PrintCsv(stdout);

@@ -7,16 +7,25 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "core/dqo.h"
 #include "core/dqs.h"
+#include "core/mediator.h"
 #include "exec/hash_index.h"
+#include "parallel_runner.h"
+#include "plan/canonical_plans.h"
 #include "plan/query_generator.h"
 #include "wrapper/wrapper.h"
 
 namespace dqsched {
 namespace {
+
+/// --jobs=N (parsed before google-benchmark sees argv): thread count for
+/// BM_ParallelMediators, the scaling check of the bench-suite runner.
+int g_jobs = 0;  // 0 = hardware concurrency
 
 /// Fixture state for a random query of `num_sources` relations.
 struct PlanningFixture {
@@ -107,7 +116,75 @@ void BM_HashIndexProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_HashIndexProbe)->Arg(1000)->Arg(100000);
 
+/// End-to-end execution of the paper's Figure 5 query at toy scale: the
+/// simulator's data plane (ProcessBatch's batch pipeline) dominates, so
+/// this tracks the per-simulated-second host cost across PRs.
+void BM_ExecuteStrategy(benchmark::State& state,
+                        core::StrategyKind kind) {
+  plan::QuerySetup setup = plan::PaperFigure5Query(0.05);
+  core::MediatorConfig config;
+  Result<core::Mediator> mediator =
+      core::Mediator::Create(setup.catalog, setup.plan, config);
+  DQS_CHECK(mediator.ok());
+  for (auto _ : state) {
+    auto metrics = mediator->Execute(kind);
+    DQS_CHECK(metrics.ok());
+    benchmark::DoNotOptimize(metrics);
+  }
+}
+BENCHMARK_CAPTURE(BM_ExecuteStrategy, SEQ, core::StrategyKind::kSeq);
+BENCHMARK_CAPTURE(BM_ExecuteStrategy, DSE, core::StrategyKind::kDse);
+
+/// One iteration = `--jobs` independent mediator executions spread over
+/// the work-stealing runner; items/sec should scale with cores under the
+/// one-Mediator-per-thread contract.
+void BM_ParallelMediators(benchmark::State& state) {
+  const bench::ParallelRunner runner(g_jobs);
+  const int n = runner.jobs();
+  plan::QuerySetup setup = plan::PaperFigure5Query(0.05);
+  core::MediatorConfig config;
+  std::vector<core::Mediator> mediators;
+  for (int i = 0; i < n; ++i) {
+    config.seed = 42 + static_cast<uint64_t>(i);
+    auto m = core::Mediator::Create(setup.catalog, setup.plan, config);
+    DQS_CHECK(m.ok());
+    mediators.push_back(std::move(m.value()));
+  }
+  for (auto _ : state) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(mediators.size());
+    for (core::Mediator& m : mediators) {
+      tasks.push_back([&m] {
+        auto metrics = m.Execute(core::StrategyKind::kDse);
+        DQS_CHECK(metrics.ok());
+        benchmark::DoNotOptimize(metrics);
+      });
+    }
+    runner.Run(tasks);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(std::to_string(n) + " jobs");
+}
+BENCHMARK(BM_ParallelMediators)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace dqsched
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --jobs=N (bench-suite-wide flag) before google-benchmark's own
+  // argv parsing, which rejects flags it does not know.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      dqsched::g_jobs = std::atoi(argv[i] + 7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

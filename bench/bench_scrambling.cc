@@ -44,27 +44,36 @@ int main(int argc, char** argv) {
     cases.push_back(c);
   }
 
-  TablePrinter table({"delay type of A", "SEQ (s)", "SCR (s)",
-                      "SCR steps", "DSE (s)"});
+  std::vector<plan::QuerySetup> setups;
   for (const Case& c : cases) {
     plan::QuerySetup setup = plan::PaperFigure5Query(options.scale);
     setup.catalog.sources[0].delay = c.delay;
-    const auto seq = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kSeq, options.repeats);
-    const auto dse = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kDse, options.repeats);
-    Result<core::Mediator> mediator =
-        core::Mediator::Create(setup.catalog, setup.plan, config);
-    std::string scr_cell = "FAIL", scr_steps = "-";
-    if (mediator.ok()) {
-      Result<core::ExecutionMetrics> scr =
-          mediator->ExecuteScrambling(Milliseconds(20));
-      if (scr.ok()) {
-        scr_cell = TablePrinter::Num(ToSecondsF(scr->response_time));
-        scr_steps = std::to_string(scr->timeouts);
-      }
+    setups.push_back(std::move(setup));
+  }
+  std::vector<bench::MeasureCell> cells;
+  for (const plan::QuerySetup& setup : setups) {
+    for (core::StrategyKind kind :
+         {core::StrategyKind::kSeq, core::StrategyKind::kDse}) {
+      cells.push_back([&setup, &config, kind, &options] {
+        return bench::MeasureStrategy(setup, config, kind, options.repeats);
+      });
     }
-    table.AddRow({c.label, bench::Cell(seq), scr_cell, scr_steps,
+    cells.push_back([&setup, &config, &options] {
+      return bench::MeasureScrambling(setup, config, Milliseconds(20),
+                                      options.repeats);
+    });
+  }
+  const auto results = bench::RunCells(options, cells);
+
+  TablePrinter table({"delay type of A", "SEQ (s)", "SCR (s)",
+                      "SCR steps", "DSE (s)"});
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const auto& seq = results[3 * i];
+    const auto& dse = results[3 * i + 1];
+    const auto& scr = results[3 * i + 2];
+    table.AddRow({cases[i].label, bench::Cell(seq),
+                  scr.ok ? TablePrinter::Num(scr.seconds) : "FAIL",
+                  scr.ok ? std::to_string(scr.metrics.timeouts) : "-",
                   bench::Cell(dse)});
   }
   if (options.csv) {
@@ -83,25 +92,28 @@ int main(int argc, char** argv) {
   setup.catalog.sources[0].delay.kind = wrapper::DelayKind::kBursty;
   setup.catalog.sources[0].delay.burst_length = 500;
   setup.catalog.sources[0].delay.burst_gap_ms = 120.0;
-  Result<core::Mediator> mediator =
-      core::Mediator::Create(setup.catalog, setup.plan, config);
-  if (!mediator.ok()) {
-    std::fprintf(stderr, "%s\n", mediator.status().ToString().c_str());
-    return 1;
+  const double timeouts_ms[] = {1.0, 5.0, 20.0, 60.0, 150.0, 1000.0};
+  std::vector<bench::MeasureCell> sweep_cells;
+  for (double ms : timeouts_ms) {
+    sweep_cells.push_back([&setup, &config, ms, &options] {
+      return bench::MeasureScrambling(setup, config, Milliseconds(ms),
+                                      options.repeats);
+    });
   }
+  const auto sweep_results = bench::RunCells(options, sweep_cells);
+
   TablePrinter sweep({"SCR timeout (ms)", "response (s)", "scrambling steps",
                       "materializations"});
-  for (double ms : {1.0, 5.0, 20.0, 60.0, 150.0, 1000.0}) {
-    Result<core::ExecutionMetrics> scr =
-        mediator->ExecuteScrambling(Milliseconds(ms));
-    if (!scr.ok()) {
+  for (size_t i = 0; i < std::size(timeouts_ms); ++i) {
+    const double ms = timeouts_ms[i];
+    const auto& scr = sweep_results[i];
+    if (!scr.ok) {
       sweep.AddRow({TablePrinter::Num(ms, 0), "FAIL", "-", "-"});
       continue;
     }
-    sweep.AddRow({TablePrinter::Num(ms, 0),
-                  TablePrinter::Num(ToSecondsF(scr->response_time)),
-                  std::to_string(scr->timeouts),
-                  std::to_string(scr->degradations)});
+    sweep.AddRow({TablePrinter::Num(ms, 0), TablePrinter::Num(scr.seconds),
+                  std::to_string(scr.metrics.timeouts),
+                  std::to_string(scr.metrics.degradations)});
   }
   if (options.csv) {
     sweep.PrintCsv(stdout);

@@ -16,10 +16,11 @@ int main(int argc, char** argv) {
       "Section 5.2 text (position of the slowed-down relation)", options);
   const core::MediatorConfig config = bench::DefaultConfig(options);
 
-  TablePrinter table({"slowed", "cardinality", "blocks (transitively)",
-                      "SEQ (s)", "DSE (s)", "MA (s)", "LWB (s)",
-                      "DSE gain (%)"});
-  for (const char* name : {"A", "B", "C", "D", "E", "F"}) {
+  const char* names[] = {"A", "B", "C", "D", "E", "F"};
+  std::vector<plan::QuerySetup> setups;
+  std::vector<SourceId> slowed_ids;
+  std::vector<int> dependents_count;
+  for (const char* name : names) {
     plan::QuerySetup setup = plan::PaperFigure5Query(options.scale);
     const SourceId slowed = setup.catalog.Find(name);
     setup.catalog.source(slowed).delay.mean_us *= 5.0;
@@ -38,18 +39,43 @@ int main(int argc, char** argv) {
         }
       }
     }
+    slowed_ids.push_back(slowed);
+    dependents_count.push_back(dependents);
+    setups.push_back(std::move(setup));
+  }
 
-    const auto seq = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kSeq, options.repeats);
-    const auto dse = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kDse, options.repeats);
-    const auto ma = bench::MeasureStrategy(
-        setup, config, core::StrategyKind::kMa, options.repeats);
+  std::vector<bench::MeasureCell> cells;
+  for (const plan::QuerySetup& setup : setups) {
+    for (core::StrategyKind kind :
+         {core::StrategyKind::kSeq, core::StrategyKind::kDse,
+          core::StrategyKind::kMa}) {
+      cells.push_back([&setup, &config, kind, &options] {
+        return bench::MeasureStrategy(setup, config, kind, options.repeats);
+      });
+    }
+    cells.push_back([&setup, &config] {
+      bench::StrategyOutcome lwb;
+      lwb.ok = true;
+      lwb.seconds = bench::LwbSeconds(setup, config);
+      return lwb;
+    });
+  }
+  const auto results = bench::RunCells(options, cells);
+
+  TablePrinter table({"slowed", "cardinality", "blocks (transitively)",
+                      "SEQ (s)", "DSE (s)", "MA (s)", "LWB (s)",
+                      "DSE gain (%)"});
+  for (size_t i = 0; i < setups.size(); ++i) {
+    const auto& seq = results[4 * i];
+    const auto& dse = results[4 * i + 1];
+    const auto& ma = results[4 * i + 2];
     table.AddRow(
-        {name,
-         std::to_string(setup.catalog.source(slowed).relation.cardinality),
-         std::to_string(dependents), bench::Cell(seq), bench::Cell(dse),
-         bench::Cell(ma), TablePrinter::Num(bench::LwbSeconds(setup, config)),
+        {names[i],
+         std::to_string(
+             setups[i].catalog.source(slowed_ids[i]).relation.cardinality),
+         std::to_string(dependents_count[i]), bench::Cell(seq),
+         bench::Cell(dse), bench::Cell(ma),
+         TablePrinter::Num(results[4 * i + 3].seconds),
          bench::GainCell(seq, dse)});
   }
   if (options.csv) {

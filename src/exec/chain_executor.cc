@@ -48,7 +48,14 @@ Result<int64_t> FragmentRuntime::ProcessBatch(ExecContext& ctx,
   DQS_RETURN_IF_ERROR(Open(ctx));
   if (max_tuples <= 0) return static_cast<int64_t>(0);
 
-  in_buf_.resize(static_cast<size_t>(max_tuples));
+  // Buffers grow once to the batch size and are then reused as-is; the
+  // input buffer doubles as the pipeline's first work buffer, so no batch
+  // is ever copied before the first operator sees it.
+  if (in_buf_.size() < static_cast<size_t>(max_tuples)) {
+    in_buf_.resize(static_cast<size_t>(max_tuples));
+    work_a_.reserve(static_cast<size_t>(max_tuples));
+    work_b_.reserve(static_cast<size_t>(max_tuples));
+  }
   const ChainSource::PopResult pop =
       source_->Pop(ctx, in_buf_.data(), max_tuples);
   if (pop.count == 0) return static_cast<int64_t>(0);
@@ -65,64 +72,105 @@ Result<int64_t> FragmentRuntime::ProcessBatch(ExecContext& ctx,
   // The scan's per-tuple move.
   instr += pop.count * ctx.cost->instr_move_tuple;
 
-  work_a_.assign(in_buf_.begin(), in_buf_.begin() + pop.count);
-  std::vector<storage::Tuple>* cur = &work_a_;
-  std::vector<storage::Tuple>* next = &work_b_;
+  // Operators consume a (data, count) span and emit into the spare work
+  // buffer; the spans alternate between in_buf_/work_a_/work_b_.
+  const storage::Tuple* cur = in_buf_.data();
+  size_t cur_n = static_cast<size_t>(pop.count);
+  std::vector<storage::Tuple>* out = &work_a_;
+  std::vector<storage::Tuple>* spare = &work_b_;
 
   const size_t first_op =
       pop.from_temp ? static_cast<size_t>(spec_.temp_skip_ops) : 0;
   for (size_t oi = first_op; oi < spec_.ops.size(); ++oi) {
     const plan::ChainOp& op = spec_.ops[oi];
-    next->clear();
+    out->clear();
     switch (op.kind) {
-      case plan::ChainOpKind::kFilter:
-        instr += static_cast<int64_t>(cur->size()) *
-                 ctx.cost->instr_move_tuple;
-        for (const storage::Tuple& t : *cur) {
+      case plan::ChainOpKind::kFilter: {
+        instr += static_cast<int64_t>(cur_n) * ctx.cost->instr_move_tuple;
+        if (oi + 1 < spec_.ops.size() &&
+            spec_.ops[oi + 1].kind == plan::ChainOpKind::kProbe) {
+          // Fused filter -> probe: passing tuples go straight into the
+          // probe instead of being materialized into an intermediate
+          // buffer. Charges are identical to the unfused path.
+          const plan::ChainOp& probe = spec_.ops[oi + 1];
+          const Operand& operand = operands_->Get(probe.join);
+          DQS_CHECK_MSG(operand.loaded(),
+                        "probe of unloaded operand %s by %s",
+                        operand.name().c_str(), name().c_str());
+          const auto& tuples = operand.tuples();
+          const HashIndex& index = operand.index();
+          const size_t key_field =
+              static_cast<size_t>(probe.probe_key_field);
+          int64_t passed = 0;
+          for (size_t i = 0; i < cur_n; ++i) {
+            if (i + 1 < cur_n) index.Prefetch(cur[i + 1].keys[key_field]);
+            const storage::Tuple& t = cur[i];
+            if (!storage::FilterPasses(t.rowid, op.node, op.selectivity)) {
+              continue;
+            }
+            ++passed;
+            index.ForEachMatch(t.keys[key_field], [&](size_t idx) {
+              storage::Tuple r = t;  // probe-side fields carry through
+              r.rowid = storage::CombineRowid(tuples[idx].rowid, t.rowid);
+              out->push_back(r);
+            });
+          }
+          instr += passed * ctx.cost->instr_hash_probe;
+          instr += static_cast<int64_t>(out->size()) *
+                   ctx.cost->instr_produce_result;
+          ++oi;
+          break;
+        }
+        for (size_t i = 0; i < cur_n; ++i) {
+          const storage::Tuple& t = cur[i];
           if (storage::FilterPasses(t.rowid, op.node, op.selectivity)) {
-            next->push_back(t);
+            out->push_back(t);
           }
         }
         break;
+      }
       case plan::ChainOpKind::kProbe: {
         const Operand& operand = operands_->Get(op.join);
         DQS_CHECK_MSG(operand.loaded(), "probe of unloaded operand %s by %s",
                       operand.name().c_str(), name().c_str());
-        instr += static_cast<int64_t>(cur->size()) *
-                 ctx.cost->instr_hash_probe;
+        instr += static_cast<int64_t>(cur_n) * ctx.cost->instr_hash_probe;
         const auto& tuples = operand.tuples();
-        for (const storage::Tuple& t : *cur) {
-          const int64_t key =
-              t.keys[static_cast<size_t>(op.probe_key_field)];
-          operand.index().ForEachMatch(key, [&](size_t idx) {
+        const HashIndex& index = operand.index();
+        const size_t key_field = static_cast<size_t>(op.probe_key_field);
+        for (size_t i = 0; i < cur_n; ++i) {
+          if (i + 1 < cur_n) index.Prefetch(cur[i + 1].keys[key_field]);
+          const storage::Tuple& t = cur[i];
+          index.ForEachMatch(t.keys[key_field], [&](size_t idx) {
             storage::Tuple r = t;  // probe-side fields carry through
             r.rowid = storage::CombineRowid(tuples[idx].rowid, t.rowid);
-            next->push_back(r);
+            out->push_back(r);
           });
         }
-        instr += static_cast<int64_t>(next->size()) *
+        instr += static_cast<int64_t>(out->size()) *
                  ctx.cost->instr_produce_result;
         break;
       }
     }
-    std::swap(cur, next);
+    cur = out->data();
+    cur_n = out->size();
+    std::swap(out, spare);
   }
 
   // Sink delivery.
-  const int64_t out_n = static_cast<int64_t>(cur->size());
+  const int64_t out_n = static_cast<int64_t>(cur_n);
   instr += out_n * ctx.cost->instr_move_tuple;
   ctx.ChargeInstr(instr);
   switch (spec_.sink) {
     case SinkKind::kOperand:
-      operands_->Get(spec_.sink_join)
-          .Append(ctx, cur->data(), out_n, spec_.async_io);
+      operands_->Get(spec_.sink_join).Append(ctx, cur, out_n,
+                                             spec_.async_io);
       break;
     case SinkKind::kTemp:
-      ctx.temps.Append(spec_.sink_temp, cur->data(), out_n, spec_.async_io);
+      ctx.temps.Append(spec_.sink_temp, cur, out_n, spec_.async_io);
       break;
     case SinkKind::kResult:
       DQS_CHECK(result_ != nullptr);
-      for (const storage::Tuple& t : *cur) result_->Add(t);
+      for (size_t i = 0; i < cur_n; ++i) result_->Add(cur[i]);
       break;
   }
   stats_.produced += out_n;

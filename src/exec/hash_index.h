@@ -37,6 +37,19 @@ class HashIndex {
     }
   }
 
+  /// Hints the cache to load `key`'s home slot. Issue it one probe ahead
+  /// of ForEachMatch so the slot line is resident when the walk starts.
+  void Prefetch(int64_t key) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (slots_.empty()) return;
+    const uint64_t mask = slots_.size() - 1;
+    __builtin_prefetch(
+        &slots_[storage::Mix64(static_cast<uint64_t>(key)) & mask]);
+#else
+    (void)key;
+#endif
+  }
+
   int64_t entry_count() const { return entries_; }
   bool built() const { return built_; }
 
