@@ -34,6 +34,22 @@
     }                                                                       \
   } while (0)
 
+// Debug-mode check: compiled to nothing (operands unevaluated) unless the
+// build defines DQSCHED_AUDIT (the `audit`, `asan`, and `ubsan` presets).
+// Use for invariant checks on hot paths that release benches must not pay
+// for; DQS_CHECK stays for cheap always-on checks.
+#ifdef DQSCHED_AUDIT
+#define DQS_DCHECK(cond) DQS_CHECK(cond)
+#define DQS_DCHECK_MSG(cond, ...) DQS_CHECK_MSG(cond, __VA_ARGS__)
+#else
+#define DQS_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#define DQS_DCHECK_MSG(cond, ...) \
+  do {                            \
+  } while (0)
+#endif
+
 // Propagates a non-OK Status from the current function.
 #define DQS_RETURN_IF_ERROR(expr)                                           \
   do {                                                                      \

@@ -27,27 +27,29 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Value-type result of a fallible operation: either OK or a code+message.
-class Status {
+/// [[nodiscard]] at class level: a dropped Status is a swallowed error, so
+/// every call site must either branch on it or cast to void with a reason.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
@@ -66,7 +68,7 @@ class Status {
 /// Either a T or an error Status. Accessing the value of an error result
 /// aborts (programming error), mirroring absl::StatusOr semantics.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/macros.h"
+#include "core/invariant_auditor.h"
 
 namespace dqsched::core {
 
@@ -52,6 +53,11 @@ Result<SchedulingPlan> Dqs::ComputePlan(ExecutionState& state,
   ctx.comm.MarkPlanned(ctx.clock.now());
 
   const plan::CompiledPlan& compiled = state.compiled();
+
+  // Audit point (DQSCHED_AUDIT builds): the decomposition and the runtime
+  // conservation laws must hold before a new plan is derived from them.
+  DQS_AUDIT(AuditCompiledPlan(compiled));
+  DQS_AUDIT(AuditExecutionState(state, ctx));
 
   // Step 1: degraded chains whose ancestors finished resume as CF(p).
   for (ChainId c = 0; c < compiled.num_chains(); ++c) {
@@ -172,6 +178,8 @@ Result<SchedulingPlan> Dqs::ComputePlan(ExecutionState& state,
   state.trace().Record(ctx.clock.now(), TraceEventKind::kPlanningPhase, -1,
                        std::to_string(sp.fragments.size()) +
                            " fragments scheduled");
+  // Audit point: the plan just derived must itself be C-/M-schedulable.
+  DQS_AUDIT(AuditSchedulingPlan(state, sp, ctx));
   return sp;
 }
 

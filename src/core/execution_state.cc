@@ -1,6 +1,7 @@
 #include "core/execution_state.h"
 
 #include "common/macros.h"
+#include "core/invariant_auditor.h"
 
 namespace dqsched::core {
 
@@ -18,9 +19,9 @@ ExecutionState::ExecutionState(const plan::CompiledPlan* compiled,
     : compiled_(compiled),
       ctx_(ctx),
       options_(options),
-      operands_(compiled->num_joins),
       result_(options.result_override != nullptr ? options.result_override
-                                                 : &ctx->result) {
+                                                 : &ctx->result),
+      operands_(compiled->num_joins) {
   trace_.set_enabled(options.trace);
   // Operands register in join-id order; join ids were assigned in compile
   // order, and operand_of_join names the producing chain.
@@ -70,6 +71,10 @@ exec::FragmentRuntime& ExecutionState::fragment(int id) {
   return *fragments_[static_cast<size_t>(id)].runtime;
 }
 
+const exec::FragmentRuntime& ExecutionState::fragment(int id) const {
+  return const_cast<ExecutionState*>(this)->fragment(id);
+}
+
 bool ExecutionState::FragmentActive(int id) const {
   const FragmentSlot& slot = fragments_[static_cast<size_t>(id)];
   return slot.active && !slot.runtime->closed();
@@ -100,6 +105,22 @@ bool ExecutionState::Degraded(ChainId chain) const {
 
 bool ExecutionState::CfActivated(ChainId chain) const {
   return chain_states_[static_cast<size_t>(chain)].cf_activated;
+}
+
+int ExecutionState::MfFragment(ChainId chain) const {
+  return chain_states_[static_cast<size_t>(chain)].mf_fragment;
+}
+
+TempId ExecutionState::MfTemp(ChainId chain) const {
+  return chain_states_[static_cast<size_t>(chain)].mf_temp;
+}
+
+int ExecutionState::LeadingFilters(ChainId chain) const {
+  return chain_states_[static_cast<size_t>(chain)].leading_filters;
+}
+
+int64_t ExecutionState::RetiredLiveConsumed(ChainId chain) const {
+  return chain_states_[static_cast<size_t>(chain)].retired_live_consumed;
 }
 
 int ExecutionState::Degrade(ChainId chain, exec::ExecContext& ctx) {
@@ -303,20 +324,27 @@ void ExecutionState::OnFragmentFinished(int id, exec::ExecContext& ctx) {
   DQS_CHECK_MSG(!slot.runtime->closed(), "fragment %d finished twice", id);
   slot.runtime->Close(ctx);
   slot.active = false;
-  if (slot.is_mf || slot.chain == kInvalidId) return;
-
-  ChainState& st = chain_states_[static_cast<size_t>(slot.chain)];
-  if (!st.stages.empty()) {
-    PendingStage stage = std::move(st.stages.front());
-    st.stages.pop_front();
-    slot.runtime = std::make_unique<FragmentRuntime>(
-        std::move(stage.spec),
-        std::make_unique<TempSource>(stage.input_temp, options_.async_io),
-        &operands_, result_);
-    slot.active = true;
-    return;
+  if (!slot.is_mf && slot.chain != kInvalidId) {
+    ChainState& st = chain_states_[static_cast<size_t>(slot.chain)];
+    if (!st.stages.empty()) {
+      PendingStage stage = std::move(st.stages.front());
+      st.stages.pop_front();
+      // The retiring stage's live-queue consumption must survive the
+      // runtime swap or the conservation audit loses those tuples.
+      st.retired_live_consumed += slot.runtime->stats().consumed_live;
+      slot.runtime = std::make_unique<FragmentRuntime>(
+          std::move(stage.spec),
+          std::make_unique<TempSource>(stage.input_temp, options_.async_io),
+          &operands_, result_);
+      slot.active = true;
+    } else {
+      st.done = true;
+    }
   }
-  st.done = true;
+  // Audit point (DQSCHED_AUDIT builds): fragment completion is where chain
+  // states flip and operand grants are released — the conservation laws
+  // must balance here.
+  DQS_AUDIT(AuditExecutionState(*this, ctx));
 }
 
 std::vector<std::string> ExecutionState::FragmentNames() const {

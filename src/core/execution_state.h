@@ -38,6 +38,10 @@ struct ExecutionOptions {
   /// Multi-query execution gives each query its own collector so answers
   /// verify independently.
   exec::ResultCollector* result_override = nullptr;
+  /// True when other queries share this context (multi-query kShared):
+  /// the invariant auditor then checks the memory accountant against this
+  /// state's operands as a lower bound instead of an exact balance.
+  bool shared_context = false;
 };
 
 /// All mutable execution state of one run.
@@ -56,6 +60,7 @@ class ExecutionState {
   int num_fragments() const { return static_cast<int>(fragments_.size()); }
 
   exec::FragmentRuntime& fragment(int id);
+  const exec::FragmentRuntime& fragment(int id) const;
   /// False for fragments that were closed/stopped/replaced.
   bool FragmentActive(int id) const;
   ChainId FragmentChain(int id) const;
@@ -71,6 +76,12 @@ class ExecutionState {
 
   bool Degraded(ChainId chain) const;
   bool CfActivated(ChainId chain) const;
+  /// The materialization fragment of a degraded chain (kInvalidId before
+  /// degradation) and the temp it materializes into.
+  int MfFragment(ChainId chain) const;
+  TempId MfTemp(ChainId chain) const;
+  /// Leading filter ops of the chain (what MF(p) applies before its temp).
+  int LeadingFilters(ChainId chain) const;
   /// Splits chain p into MF(p) + (later) CF(p): creates the
   /// materialization fragment and returns its id. Requires p not done, not
   /// C-schedulable, not yet degraded, and its fragment never started.
@@ -112,6 +123,14 @@ class ExecutionState {
   int64_t dqo_splits() const { return dqo_splits_; }
 
   exec::OperandRegistry& operands() { return operands_; }
+  const exec::OperandRegistry& operands() const { return operands_; }
+  const ExecutionOptions& options() const { return options_; }
+
+  /// Live-queue tuples consumed by fragment runtimes of `chain` that were
+  /// since retired (a finished split stage replaced by its successor).
+  /// The per-source conservation law sums this with the live runtimes'
+  /// FragmentStats::consumed_live against the queue's total_popped().
+  int64_t RetiredLiveConsumed(ChainId chain) const;
 
   /// The execution trace (empty unless ExecutionOptions::trace was set).
   ExecutionTrace& trace() { return trace_; }
@@ -143,6 +162,9 @@ class ExecutionState {
     /// Number of leading filter ops (what MF(p) applies before
     /// materializing).
     int leading_filters = 0;
+    /// Live-queue consumption of retired stage runtimes (conservation
+    /// accounting survives runtime replacement).
+    int64_t retired_live_consumed = 0;
     std::deque<PendingStage> stages;
   };
 

@@ -1,0 +1,506 @@
+#include "core/invariant_auditor.h"
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dqsched::core {
+
+namespace {
+
+std::string ChainLabel(const plan::CompiledPlan& compiled, ChainId id) {
+  return "chain " + std::to_string(id) + " (" +
+         compiled.chain(id).name + ")";
+}
+
+/// Depth-first cycle detection over the blocker relation. Returns the id
+/// of a chain on a blocking cycle, or kInvalidId when the DAG is acyclic.
+ChainId FindBlockingCycle(const plan::CompiledPlan& compiled) {
+  enum class Color { kWhite, kGray, kBlack };
+  const size_t n = static_cast<size_t>(compiled.num_chains());
+  std::vector<Color> color(n, Color::kWhite);
+  // Explicit stack of (chain, next-blocker-index) frames.
+  std::vector<std::pair<ChainId, size_t>> stack;
+  for (ChainId root = 0; root < compiled.num_chains(); ++root) {
+    if (color[static_cast<size_t>(root)] != Color::kWhite) continue;
+    stack.push_back({root, 0});
+    color[static_cast<size_t>(root)] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [c, next] = stack.back();
+      const auto& blockers = compiled.chain(c).blockers;
+      if (next >= blockers.size()) {
+        color[static_cast<size_t>(c)] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const ChainId b = blockers[next++];
+      if (color[static_cast<size_t>(b)] == Color::kGray) return b;
+      if (color[static_cast<size_t>(b)] == Color::kWhite) {
+        color[static_cast<size_t>(b)] = Color::kGray;
+        stack.push_back({b, 0});
+      }
+    }
+  }
+  return kInvalidId;
+}
+
+bool NonNegativeFinite(double v) { return std::isfinite(v) && v >= 0.0; }
+
+}  // namespace
+
+Status AuditCompiledPlan(const plan::CompiledPlan& compiled) {
+  if (compiled.num_chains() == 0) {
+    return Status::Internal("compiled plan has no chains");
+  }
+  if (compiled.result_chain < 0 ||
+      compiled.result_chain >= compiled.num_chains()) {
+    return Status::Internal("result_chain " +
+                            std::to_string(compiled.result_chain) +
+                            " out of range [0, " +
+                            std::to_string(compiled.num_chains()) + ")");
+  }
+  if (static_cast<int>(compiled.operand_of_join.size()) !=
+          compiled.num_joins ||
+      static_cast<int>(compiled.join_build_field.size()) !=
+          compiled.num_joins) {
+    return Status::Internal(
+        "join tables sized " + std::to_string(compiled.operand_of_join.size()) +
+        "/" + std::to_string(compiled.join_build_field.size()) +
+        " for " + std::to_string(compiled.num_joins) + " joins");
+  }
+
+  // Positional ids, a single result chain, valid sinks.
+  int result_chains = 0;
+  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+    const plan::ChainInfo& info = compiled.chain(c);
+    if (info.id != c) {
+      return Status::Internal("chain at index " + std::to_string(c) +
+                              " carries id " + std::to_string(info.id));
+    }
+    if (info.is_result) {
+      ++result_chains;
+      if (c != compiled.result_chain) {
+        return Status::Internal(ChainLabel(compiled, c) +
+                                " is marked is_result but result_chain is " +
+                                std::to_string(compiled.result_chain));
+      }
+    } else if (info.sink_join < 0 || info.sink_join >= compiled.num_joins) {
+      return Status::Internal(ChainLabel(compiled, c) +
+                              " sinks to invalid join " +
+                              std::to_string(info.sink_join));
+    }
+  }
+  if (result_chains != 1) {
+    return Status::Internal(std::to_string(result_chains) +
+                            " result chains; a plan must have exactly one");
+  }
+
+  // Operator partition: every filter node and every probed join belongs to
+  // exactly one chain (paper Section 2.2: the decomposition is a partition
+  // of the physical operators).
+  std::unordered_map<NodeId, ChainId> filter_owner;
+  std::vector<ChainId> probe_owner(static_cast<size_t>(compiled.num_joins),
+                                   kInvalidId);
+  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+    for (const plan::ChainOp& op : compiled.chain(c).ops) {
+      switch (op.kind) {
+        case plan::ChainOpKind::kFilter: {
+          auto [it, inserted] = filter_owner.emplace(op.node, c);
+          if (!inserted) {
+            return Status::Internal(
+                "operator partition violated: filter node " +
+                std::to_string(op.node) + " appears in " +
+                ChainLabel(compiled, it->second) + " and " +
+                ChainLabel(compiled, c));
+          }
+          if (!(op.selectivity >= 0.0 && op.selectivity <= 1.0)) {
+            return Status::Internal("filter node " + std::to_string(op.node) +
+                                    " in " + ChainLabel(compiled, c) +
+                                    " has selectivity " +
+                                    std::to_string(op.selectivity) +
+                                    " outside [0, 1]");
+          }
+          break;
+        }
+        case plan::ChainOpKind::kProbe: {
+          if (op.join < 0 || op.join >= compiled.num_joins) {
+            return Status::Internal(ChainLabel(compiled, c) +
+                                    " probes invalid join " +
+                                    std::to_string(op.join));
+          }
+          ChainId& owner = probe_owner[static_cast<size_t>(op.join)];
+          if (owner != kInvalidId) {
+            return Status::Internal(
+                "operator partition violated: probe of join " +
+                std::to_string(op.join) + " appears in " +
+                ChainLabel(compiled, owner) + " and " +
+                ChainLabel(compiled, c));
+          }
+          owner = c;
+          break;
+        }
+      }
+    }
+  }
+
+  // Every join has exactly one build producer and exactly one prober, and
+  // the producer's sink agrees with the join table.
+  for (JoinId j = 0; j < compiled.num_joins; ++j) {
+    const ChainId producer = compiled.operand_of_join[static_cast<size_t>(j)];
+    if (producer < 0 || producer >= compiled.num_chains()) {
+      return Status::Internal("join " + std::to_string(j) +
+                              " has invalid operand producer " +
+                              std::to_string(producer));
+    }
+    const plan::ChainInfo& pinfo = compiled.chain(producer);
+    if (pinfo.is_result || pinfo.sink_join != j) {
+      return Status::Internal(ChainLabel(compiled, producer) +
+                              " is recorded as the operand producer of join " +
+                              std::to_string(j) + " but sinks to " +
+                              (pinfo.is_result
+                                   ? std::string("the result")
+                                   : "join " + std::to_string(pinfo.sink_join)));
+    }
+    if (pinfo.build_key_field !=
+        compiled.join_build_field[static_cast<size_t>(j)]) {
+      return Status::Internal(
+          "join " + std::to_string(j) + " build field mismatch: table says " +
+          std::to_string(compiled.join_build_field[static_cast<size_t>(j)]) +
+          ", producer " + ChainLabel(compiled, producer) + " says " +
+          std::to_string(pinfo.build_key_field));
+    }
+    if (probe_owner[static_cast<size_t>(j)] == kInvalidId) {
+      return Status::Internal("join " + std::to_string(j) +
+                              " is probed by no chain");
+    }
+  }
+
+  // Blocker complementarity: blockers(c) is exactly the set of operand
+  // producers of c's probe ops ("p1 blocks p2", paper Section 4.1).
+  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+    const plan::ChainInfo& info = compiled.chain(c);
+    std::vector<bool> expected(static_cast<size_t>(compiled.num_chains()),
+                               false);
+    for (const plan::ChainOp& op : info.ops) {
+      if (op.kind == plan::ChainOpKind::kProbe) {
+        expected[static_cast<size_t>(
+            compiled.operand_of_join[static_cast<size_t>(op.join)])] = true;
+      }
+    }
+    std::vector<bool> listed(static_cast<size_t>(compiled.num_chains()),
+                             false);
+    for (ChainId b : info.blockers) {
+      if (b < 0 || b >= compiled.num_chains() || b == c) {
+        return Status::Internal(ChainLabel(compiled, c) +
+                                " lists invalid blocker " +
+                                std::to_string(b));
+      }
+      if (listed[static_cast<size_t>(b)]) {
+        return Status::Internal(ChainLabel(compiled, c) +
+                                " lists blocker " + std::to_string(b) +
+                                " twice");
+      }
+      listed[static_cast<size_t>(b)] = true;
+    }
+    for (ChainId b = 0; b < compiled.num_chains(); ++b) {
+      if (expected[static_cast<size_t>(b)] != listed[static_cast<size_t>(b)]) {
+        return Status::Internal(
+            "blocker mismatch: " + ChainLabel(compiled, c) +
+            (expected[static_cast<size_t>(b)]
+                 ? " probes an operand of " + ChainLabel(compiled, b) +
+                       " but does not list it as a blocker"
+                 : " lists " + ChainLabel(compiled, b) +
+                       " as a blocker but probes none of its operands"));
+      }
+    }
+  }
+
+  // Acyclicity of the blocking-edge DAG (ancestors* must terminate).
+  const ChainId on_cycle = FindBlockingCycle(compiled);
+  if (on_cycle != kInvalidId) {
+    return Status::Internal("blocking edges form a cycle through " +
+                            ChainLabel(compiled, on_cycle));
+  }
+
+  // Annotation sanity: the critical degree and the memory admission read
+  // these; negative or non-finite values poison the scheduler silently.
+  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+    const plan::ChainInfo& info = compiled.chain(c);
+    if (!NonNegativeFinite(info.est_input_card) ||
+        !NonNegativeFinite(info.est_output_card) ||
+        !NonNegativeFinite(info.est_cpu_per_tuple_ns) ||
+        !NonNegativeFinite(info.est_open_cpu_ns) ||
+        !NonNegativeFinite(info.est_mem_bytes) ||
+        !NonNegativeFinite(info.est_sink_mem_bytes)) {
+      return Status::Internal(ChainLabel(compiled, c) +
+                              " carries a negative or non-finite annotation");
+    }
+  }
+  return Status::Ok();
+}
+
+Status AuditSchedulingPlan(const ExecutionState& state,
+                           const SchedulingPlan& sp,
+                           const exec::ExecContext& ctx) {
+  if (sp.fragments.size() != sp.critical_ns.size()) {
+    return Status::Internal(
+        "scheduling plan arrays diverge: " +
+        std::to_string(sp.fragments.size()) + " fragments vs " +
+        std::to_string(sp.critical_ns.size()) + " priorities");
+  }
+  if (sp.empty()) {
+    if (!state.QueryDone()) {
+      return Status::Internal("empty scheduling plan with the query "
+                              "unfinished");
+    }
+    return Status::Ok();
+  }
+
+  std::vector<bool> seen(static_cast<size_t>(state.num_fragments()), false);
+  int64_t unopened_bytes = 0;
+  for (size_t i = 0; i < sp.fragments.size(); ++i) {
+    const int id = sp.fragments[i];
+    if (id < 0 || id >= state.num_fragments()) {
+      return Status::Internal("scheduled fragment " + std::to_string(id) +
+                              " out of range [0, " +
+                              std::to_string(state.num_fragments()) + ")");
+    }
+    if (seen[static_cast<size_t>(id)]) {
+      return Status::Internal("fragment " + std::to_string(id) +
+                              " scheduled twice");
+    }
+    seen[static_cast<size_t>(id)] = true;
+    if (!state.FragmentActive(id)) {
+      return Status::Internal("scheduled fragment " + std::to_string(id) +
+                              " (" + state.fragment(id).name() +
+                              ") is not active");
+    }
+    if (!std::isfinite(sp.critical_ns[i])) {
+      return Status::Internal("fragment " + std::to_string(id) +
+                              " has a non-finite priority");
+    }
+    // C-schedulability (paper Section 4.1): a chain-slot fragment runs
+    // only when all ancestor chains finished. MFs and MA materializations
+    // are exempt — materializing ahead of schedulability is their point.
+    if (id < state.num_chains() && !state.IsMf(id)) {
+      const ChainId chain = state.FragmentChain(id);
+      if (state.ChainDone(chain)) {
+        return Status::Internal("finished chain " + std::to_string(chain) +
+                                " is scheduled");
+      }
+      if (!state.CSchedulable(chain)) {
+        return Status::Internal(
+            "C-schedulability violated: chain " + std::to_string(chain) +
+            " (" + state.compiled().chain(chain).name +
+            ") is scheduled with unfinished ancestors");
+      }
+    }
+    if (!state.fragment(id).opened()) {
+      unopened_bytes += state.fragment(id).BytesToOpen(ctx);
+    }
+  }
+
+  // M-schedulability of the admitted set (paper Section 4.2). A
+  // single-fragment plan may exceed the remaining memory by design: the
+  // progress guarantee runs the top candidate alone and the DQO revises
+  // the plan when its Open fails.
+  if (sp.fragments.size() > 1 && unopened_bytes > ctx.memory.available()) {
+    return Status::Internal(
+        "M-schedulability violated: scheduled fragments need " +
+        std::to_string(unopened_bytes) + " bytes to open but only " +
+        std::to_string(ctx.memory.available()) + " of the " +
+        std::to_string(ctx.memory.budget()) + "-byte budget is available");
+  }
+  return Status::Ok();
+}
+
+Status AuditExecutionState(const ExecutionState& state,
+                           const exec::ExecContext& ctx) {
+  const plan::CompiledPlan& compiled = state.compiled();
+
+  // --- Memory balance (paper Section 3.3) -------------------------------
+  const int64_t granted = ctx.memory.granted();
+  if (granted < 0 || granted > ctx.memory.budget()) {
+    return Status::Internal("memory accountant granted " +
+                            std::to_string(granted) +
+                            " bytes outside the budget " +
+                            std::to_string(ctx.memory.budget()));
+  }
+  if (ctx.memory.peak() > ctx.memory.budget()) {
+    return Status::Internal("memory accountant peak " +
+                            std::to_string(ctx.memory.peak()) +
+                            " exceeded the budget " +
+                            std::to_string(ctx.memory.budget()));
+  }
+  int64_t operand_grants = 0;
+  for (JoinId j = 0; j < compiled.num_joins; ++j) {
+    const int64_t bytes = state.operands().Get(j).granted_bytes();
+    if (bytes < 0) {
+      return Status::Internal("operand of join " + std::to_string(j) +
+                              " holds a negative grant");
+    }
+    operand_grants += bytes;
+  }
+  if (state.options().shared_context ? operand_grants > granted
+                                     : operand_grants != granted) {
+    return Status::Internal(
+        "memory balance violated: accountant granted " +
+        std::to_string(granted) + " bytes but live operand reservations sum "
+        "to " + std::to_string(operand_grants));
+  }
+
+  // --- Tuple conservation across queues and fragments -------------------
+  // Every tuple popped from a source's queue must be consumed by a
+  // fragment runtime of that source — current, or retired by a DQO stage
+  // advance. Sources of other queries sharing the context are untouched:
+  // source id spaces are disjoint by construction.
+  std::unordered_map<SourceId, int64_t> consumed_by_source;
+  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+    const SourceId s = compiled.chain(c).source;
+    if (s < 0 || s >= ctx.comm.num_sources()) {
+      return Status::Internal("chain " + std::to_string(c) +
+                              " reads invalid source " + std::to_string(s));
+    }
+    consumed_by_source[s] += state.RetiredLiveConsumed(c);
+  }
+  for (int f = 0; f < state.num_fragments(); ++f) {
+    const exec::FragmentRuntime& rt = state.fragment(f);
+    const SourceId s = rt.source().remote_source();
+    if (s == kInvalidId) continue;
+    if (s < 0 || s >= ctx.comm.num_sources()) {
+      return Status::Internal("fragment " + rt.name() +
+                              " reads invalid source " + std::to_string(s));
+    }
+    consumed_by_source[s] += rt.stats().consumed_live;
+  }
+  for (const auto& [s, consumed] : consumed_by_source) {
+    const comm::TupleQueue& queue = ctx.comm.queue(s);
+    if (queue.total_pushed() != queue.total_popped() + queue.size()) {
+      return Status::Internal(
+          "queue of source " + std::to_string(s) + " lost tuples: pushed " +
+          std::to_string(queue.total_pushed()) + ", popped " +
+          std::to_string(queue.total_popped()) + ", holding " +
+          std::to_string(queue.size()));
+    }
+    const auto& wstats = ctx.comm.wrapper(s).stats();
+    if (wstats.tuples_delivered != queue.total_pushed()) {
+      return Status::Internal(
+          "source " + std::to_string(s) + " delivered " +
+          std::to_string(wstats.tuples_delivered) + " tuples but its queue "
+          "recorded " + std::to_string(queue.total_pushed()) + " pushes");
+    }
+    if (queue.total_popped() != consumed) {
+      return Status::Internal(
+          "tuple conservation violated for source " + std::to_string(s) +
+          ": queue popped " + std::to_string(queue.total_popped()) +
+          " tuples but fragments consumed " + std::to_string(consumed));
+    }
+  }
+
+  // --- Per-chain structure, MF/CF complementarity (Section 4.4) ---------
+  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+    const plan::ChainInfo& info = compiled.chain(c);
+    const int slot = state.ChainFragment(c);
+    if (state.ChainDone(c) && state.FragmentActive(slot)) {
+      return Status::Internal("chain " + std::to_string(c) + " (" +
+                              info.name + ") is done but its fragment is "
+                              "still active");
+    }
+    if (state.CfActivated(c) && !state.Degraded(c)) {
+      return Status::Internal("chain " + std::to_string(c) +
+                              " has an activated CF without a degradation");
+    }
+    if (!state.Degraded(c)) continue;
+
+    const int mf = state.MfFragment(c);
+    if (mf < state.num_chains() || mf >= state.num_fragments() ||
+        !state.IsMf(mf) || state.FragmentChain(mf) != c) {
+      return Status::Internal("chain " + std::to_string(c) +
+                              " is degraded but its MF fragment " +
+                              std::to_string(mf) + " is inconsistent");
+    }
+    const exec::FragmentRuntime& mf_rt = state.fragment(mf);
+    const int leading = state.LeadingFilters(c);
+    if (static_cast<int>(mf_rt.spec().ops.size()) != leading) {
+      return Status::Internal(
+          "MF/CF complementarity violated: MF(" + info.name + ") applies " +
+          std::to_string(mf_rt.spec().ops.size()) + " operators, expected "
+          "the chain's " + std::to_string(leading) + " leading filters");
+    }
+    // MF output goes to its temp; filters only drop tuples.
+    if (mf_rt.stats().produced > mf_rt.stats().consumed) {
+      return Status::Internal("MF(" + info.name + ") produced more than it "
+                              "consumed");
+    }
+    const TempId mf_temp = state.MfTemp(c);
+    if (ctx.temps.IsSealed(mf_temp) &&
+        ctx.temps.Cardinality(mf_temp) != mf_rt.stats().produced) {
+      return Status::Internal(
+          "degradation lost tuples: MF(" + info.name + ") produced " +
+          std::to_string(mf_rt.stats().produced) + " but its temp holds " +
+          std::to_string(ctx.temps.Cardinality(mf_temp)));
+    }
+    if (state.CfActivated(c)) {
+      if (state.FragmentActive(mf)) {
+        return Status::Internal("MF(" + info.name + ") still active after "
+                                "CF activation");
+      }
+      // The CF (or its first DQO split stage, which inherits the source)
+      // must skip exactly the filters the MF pre-applied.
+      const exec::FragmentRuntime& cf_rt = state.fragment(slot);
+      if (!state.ChainDone(c) &&
+          cf_rt.source().remote_source() == info.source &&
+          cf_rt.spec().temp_skip_ops != leading) {
+        return Status::Internal(
+            "MF/CF complementarity violated: CF(" + info.name + ") skips " +
+            std::to_string(cf_rt.spec().temp_skip_ops) +
+            " operators on materialized batches, expected " +
+            std::to_string(leading));
+      }
+    }
+  }
+
+  // --- Fragment/slot consistency ----------------------------------------
+  for (int f = 0; f < state.num_fragments(); ++f) {
+    const exec::FragmentRuntime& rt = state.fragment(f);
+    const ChainId origin = state.FragmentChain(f);
+    if (rt.spec().origin_chain != origin) {
+      return Status::Internal("fragment " + rt.name() + " slot chain " +
+                              std::to_string(origin) +
+                              " disagrees with its spec origin " +
+                              std::to_string(rt.spec().origin_chain));
+    }
+    if (rt.stats().consumed < 0 || rt.stats().produced < 0 ||
+        rt.stats().consumed_live > rt.stats().consumed) {
+      return Status::Internal("fragment " + rt.name() +
+                              " has inconsistent consumption counters");
+    }
+  }
+
+  // --- Critical-degree inputs (Section 4.3) -----------------------------
+  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+    if (state.ChainDone(c)) continue;
+    const SourceId s = compiled.chain(c).source;
+    if (ctx.comm.RemainingTuples(s) < 0) {
+      return Status::Internal("source " + std::to_string(s) +
+                              " reports negative remaining tuples");
+    }
+    const double w = ctx.comm.EstimatedWaitNs(s);
+    if (!NonNegativeFinite(w)) {
+      return Status::Internal("source " + std::to_string(s) +
+                              " reports a negative or non-finite estimated "
+                              "wait");
+    }
+  }
+  return Status::Ok();
+}
+
+Status AuditAll(const ExecutionState& state, const SchedulingPlan& sp,
+                const exec::ExecContext& ctx) {
+  DQS_RETURN_IF_ERROR(AuditCompiledPlan(state.compiled()));
+  DQS_RETURN_IF_ERROR(AuditExecutionState(state, ctx));
+  return AuditSchedulingPlan(state, sp, ctx);
+}
+
+}  // namespace dqsched::core

@@ -1,0 +1,93 @@
+// Machine-checked invariants of the PC decomposition and the DQS/DQP/DQO
+// runtime (paper Sections 2.2, 3.3, and 4).
+//
+// The paper's correctness argument rests on properties the engine itself
+// never re-derives: the pipeline chains partition the plan's operators
+// (Section 2.2), the blocking-edge DAG is acyclic so ancestors* and the
+// iterator order terminate (Section 4.1), a fragment enters the scheduling
+// plan only when C- and M-schedulable (Sections 4.1-4.2), degradation
+// splits p into MF(p)/CF(p) without losing tuples (Section 4.4), and the
+// memory accountant balances the live operand grants at every plan
+// recomputation (Section 3.3). This header provides auditors for each
+// layer. They return Status (never abort) so tests can feed them
+// hand-corrupted structures; the DQS_AUDIT macro wires them into the
+// scheduler and the fragment-completion path in DQSCHED_AUDIT builds and
+// compiles to nothing otherwise — release benches pay zero cost.
+
+#ifndef DQSCHED_CORE_INVARIANT_AUDITOR_H_
+#define DQSCHED_CORE_INVARIANT_AUDITOR_H_
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "core/dqs.h"
+#include "core/execution_state.h"
+#include "exec/exec_context.h"
+#include "plan/compiled_plan.h"
+
+namespace dqsched::core {
+
+/// Static invariants of a compiled plan (paper Sections 2.2 and 4.1):
+///  * exactly one result chain, and ids are positional;
+///  * the chains partition the operators — every filter node and every
+///    join probe appears in exactly one chain;
+///  * every join's build operand is produced by exactly one non-result
+///    chain, with a consistent build key field;
+///  * each chain's blocker list is exactly the set of operand producers of
+///    its probe ops, and the blocking-edge DAG is acyclic;
+///  * annotations are sane (selectivities in [0,1], non-negative finite
+///    cost/memory estimates — the critical degree's inputs).
+Status AuditCompiledPlan(const plan::CompiledPlan& compiled);
+
+/// Invariants of one scheduling plan against the state it was computed
+/// from (paper Sections 4.1-4.3): parallel arrays, valid + active + unique
+/// fragment ids, C-schedulability of every scheduled chain fragment,
+/// finite priorities, and M-schedulability of the admitted set — the
+/// unopened fragments' open costs fit the accountant's available memory
+/// (a single-fragment plan is exempt: the progress guarantee of Section
+/// 4.2 runs the top candidate alone and lets the DQO revise on overflow).
+Status AuditSchedulingPlan(const ExecutionState& state,
+                           const SchedulingPlan& sp,
+                           const exec::ExecContext& ctx);
+
+/// Runtime conservation laws over the live execution state (paper
+/// Sections 3.3 and 4.4):
+///  * memory balance — the accountant's granted bytes equal the sum of
+///    the operands' live grants (a lower bound when the context is shared
+///    across queries), and never exceed the budget;
+///  * tuple conservation — every tuple popped from a source's queue is
+///    accounted for by a fragment runtime of that source (current or
+///    retired), and each queue/wrapper pair conserves its sequence;
+///  * MF/CF complementarity — a degraded chain's MF applies exactly the
+///    chain's leading filters, its sealed temp holds exactly what the MF
+///    produced, and the CF skips exactly those pre-applied filters;
+///  * critical-degree inputs non-negative — remaining tuples and waiting
+///    time estimates of every unfinished chain;
+///  * structural consistency — done chains have inactive fragments, every
+///    fragment's origin chain matches its slot.
+Status AuditExecutionState(const ExecutionState& state,
+                           const exec::ExecContext& ctx);
+
+/// All three layers in one call (compiled plan, execution state, and the
+/// current scheduling plan).
+Status AuditAll(const ExecutionState& state, const SchedulingPlan& sp,
+                const exec::ExecContext& ctx);
+
+}  // namespace dqsched::core
+
+// Runs a Status-returning audit expression in DQSCHED_AUDIT builds and
+// aborts with the auditor's diagnosis on failure; compiles to nothing
+// (argument unevaluated) otherwise.
+#ifdef DQSCHED_AUDIT
+#define DQS_AUDIT(expr)                                                \
+  do {                                                                 \
+    ::dqsched::Status dqs_audit_status_ = (expr);                      \
+    DQS_CHECK_MSG(dqs_audit_status_.ok(), "invariant audit failed: %s", \
+                  dqs_audit_status_.ToString().c_str());               \
+  } while (0)
+#else
+#define DQS_AUDIT(expr) \
+  do {                  \
+  } while (0)
+#endif
+
+#endif  // DQSCHED_CORE_INVARIANT_AUDITOR_H_

@@ -173,6 +173,7 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
     run.result = std::make_unique<exec::ResultCollector>();
     ExecutionOptions options = OptionsFor(strategy);
     options.result_override = run.result.get();
+    options.shared_context = true;
     run.state = std::make_unique<ExecutionState>(
         &queries_[static_cast<size_t>(qi)].compiled, &ctx, options);
     run.dqs = std::make_unique<Dqs>(config_.strategy.dqs);

@@ -60,6 +60,9 @@ Result<int64_t> FragmentRuntime::ProcessBatch(ExecContext& ctx,
       source_->Pop(ctx, in_buf_.data(), max_tuples);
   if (pop.count == 0) return static_cast<int64_t>(0);
   stats_.consumed += pop.count;
+  if (!pop.from_temp && source_->remote_source() != kInvalidId) {
+    stats_.consumed_live += pop.count;
+  }
   ++stats_.batches;
 
   int64_t instr = 0;

@@ -51,8 +51,12 @@ struct FragmentSpec {
 
 /// Per-fragment execution statistics.
 struct FragmentStats {
-  int64_t consumed = 0;  // input tuples
-  int64_t produced = 0;  // tuples delivered to the sink
+  int64_t consumed = 0;       // input tuples
+  int64_t consumed_live = 0;  // subset of `consumed` popped from a wrapper
+                              // queue (vs replayed from a temp); the
+                              // invariant auditor's per-source conservation
+                              // law sums these against queue pops
+  int64_t produced = 0;       // tuples delivered to the sink
   int64_t batches = 0;
 };
 
@@ -112,6 +116,7 @@ class FragmentRuntime {
   }
 
   ChainSource& source() { return *source_; }
+  const ChainSource& source() const { return *source_; }
   const FragmentStats& stats() const { return stats_; }
 
   /// Relinquishes the input source so a plan revision can hand it to a

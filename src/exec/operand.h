@@ -50,6 +50,12 @@ class Operand {
   int64_t cardinality() const { return cardinality_; }
   /// Memory currently held for the raw tuples (0 when spilled/released).
   int64_t resident_bytes() const { return granted_tuple_bytes_; }
+  /// Every byte this operand currently holds against the accountant
+  /// (tuples + hash index). The invariant auditor balances the sum of
+  /// these against MemoryAccountant::granted().
+  int64_t granted_bytes() const {
+    return granted_tuple_bytes_ + granted_index_bytes_;
+  }
 
   /// Memory that must be granted before Load() can succeed: the hash index
   /// plus, when spilled, the tuples themselves.
