@@ -9,38 +9,67 @@ void CommManager::AddSource(std::unique_ptr<wrapper::SimWrapper> w,
   DQS_CHECK_MSG(w->id() == num_sources(),
                 "sources must be added in id order (got %d, expected %d)",
                 w->id(), num_sources());
+  if (config_.serial_transport) w->set_serial_delivery(true);
   wrappers_.push_back(std::move(w));
   queues_.push_back(std::make_unique<TupleQueue>(config_.queue_capacity));
   auto est = std::make_unique<RateEstimator>(config_.estimator_alpha);
   est->SetPrior(prior_wait_ns);
   estimators_.push_back(std::move(est));
   snapshots_.push_back(PlanSnapshot{prior_wait_ns, 0});
+  heap_key_.push_back(kSimTimeNever);
+  const size_t i = wrappers_.size() - 1;
+  if (wrappers_[i]->Exhausted()) {
+    // Empty relation: the stream closes without any push (previously done
+    // lazily by the first pump).
+    queues_[i]->CloseProducer();
+  } else {
+    SyncSource(i);
+  }
+}
+
+void CommManager::SyncSource(size_t i) {
+  const SimTime key = wrappers_[i]->NextArrival();
+  if (key == heap_key_[i]) return;
+  heap_key_[i] = key;
+  if (key != kSimTimeNever) heap_.emplace(key, static_cast<int>(i));
+}
+
+void CommManager::PumpSource(size_t i, SimTime now) {
+  auto& q = *queues_[i];
+  const int64_t before = q.total_pushed();
+  wrappers_[i]->PumpInto(q, now, estimators_[i].get());
+  if (q.total_pushed() != before) ++est_version_;
+  SyncSource(i);
 }
 
 void CommManager::PumpAll(SimTime now) {
-  for (size_t i = 0; i < wrappers_.size(); ++i) {
-    wrappers_[i]->PumpInto(*queues_[i], now, estimators_[i].get());
+  while (!heap_.empty() && heap_.top().first <= now) {
+    const auto [key, i] = heap_.top();
+    heap_.pop();
+    if (key != heap_key_[static_cast<size_t>(i)]) continue;  // stale entry
+    PumpSource(static_cast<size_t>(i), now);
   }
 }
 
 int64_t CommManager::Pop(SourceId source, SimTime now, storage::Tuple* out,
                          int64_t max) {
-  auto& w = *wrappers_[static_cast<size_t>(source)];
-  auto& q = *queues_[static_cast<size_t>(source)];
-  auto* est = estimators_[static_cast<size_t>(source)].get();
-  w.PumpInto(q, now, est);
+  const size_t i = static_cast<size_t>(source);
+  auto& w = *wrappers_[i];
+  auto& q = *queues_[i];
+  if (w.NextArrival() <= now) PumpSource(i, now);
   const int64_t n = q.PopBatch(out, max);
   // Draining may unblock a suspended producer: its pending tuple enters at
   // the drain time.
-  w.PumpInto(q, now, est);
+  if (w.Suspended() || w.NextArrival() <= now) PumpSource(i, now);
   return n;
 }
 
 int64_t CommManager::Available(SourceId source, SimTime now) {
-  auto& w = *wrappers_[static_cast<size_t>(source)];
-  auto& q = *queues_[static_cast<size_t>(source)];
-  w.PumpInto(q, now, estimators_[static_cast<size_t>(source)].get());
-  return q.size();
+  const size_t i = static_cast<size_t>(source);
+  // A pump is a no-op unless an arrival is due (a suspended wrapper's
+  // NextArrival is kSimTimeNever, and it only resumes inside Pop).
+  if (wrappers_[i]->NextArrival() <= now) PumpSource(i, now);
+  return queues_[i]->size();
 }
 
 bool CommManager::SourceExhausted(SourceId source) const {
@@ -71,9 +100,17 @@ void CommManager::MarkPlanned(SimTime) {
     snapshots_[i].samples = estimators_[i]->samples();
     snapshots_[i].warm = estimators_[i]->warm();
   }
+  ++est_version_;  // snapshots changed: invalidate the memoized verdict
 }
 
 bool CommManager::RateChangedSincePlan(SimTime now) {
+  // The verdict below is a pure function of estimator states, snapshots,
+  // and the cooldown gate. When nothing was delivered and no snapshot was
+  // taken since a *full* evaluation that returned false, it cannot have
+  // flipped: the loops see identical state, and the cooldown gate only
+  // ever suppresses (it was passed in that evaluation, and the elapsed
+  // time since last_signal_ has only grown).
+  if (memo_full_eval_ && est_version_ == memo_version_) return false;
   // Warm-up transitions are exempt from the cooldown: each fires at most
   // once per source, and deferring them would delay the scheduler's first
   // informed degradation decisions.
@@ -84,10 +121,13 @@ bool CommManager::RateChangedSincePlan(SimTime now) {
     if (!snapshots_[i].warm && estimators_[i]->warm()) {
       last_signal_ = now;
       ++rate_change_signals_;
+      memo_full_eval_ = false;
       return true;
     }
   }
   if (last_signal_ >= 0 && now - last_signal_ < config_.rate_change_cooldown) {
+    // Suppressed before the ratio loop ran: not a full evaluation.
+    memo_full_eval_ = false;
     return false;
   }
   for (size_t i = 0; i < estimators_.size(); ++i) {
@@ -103,9 +143,12 @@ bool CommManager::RateChangedSincePlan(SimTime now) {
         cur < ref / config_.rate_change_ratio) {
       last_signal_ = now;
       ++rate_change_signals_;
+      memo_full_eval_ = false;
       return true;
     }
   }
+  memo_version_ = est_version_;
+  memo_full_eval_ = true;
   return false;
 }
 

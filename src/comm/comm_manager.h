@@ -10,7 +10,10 @@
 #ifndef DQSCHED_COMM_COMM_MANAGER_H_
 #define DQSCHED_COMM_COMM_MANAGER_H_
 
+#include <functional>
 #include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "comm/rate_estimator.h"
@@ -37,6 +40,10 @@ struct CommConfig {
   SimDuration rate_change_cooldown = Milliseconds(50);
   /// EWMA weight for the rate estimator.
   double estimator_alpha = 0.02;
+  /// Test-only: cap wrapper delivery runs at one tuple, forcing the
+  /// per-tuple transport path. Observable behavior must be identical to
+  /// bulk delivery (see tests/transport_determinism_test.cc).
+  bool serial_transport = false;
 };
 
 /// Mediator-side communication endpoint for all wrappers of one execution.
@@ -53,7 +60,9 @@ class CommManager {
 
   int num_sources() const { return static_cast<int>(wrappers_.size()); }
 
-  /// Delivers all due production of every wrapper up to `now`.
+  /// Delivers all due production of every wrapper up to `now`. Only sources
+  /// whose next arrival is <= `now` are touched: the manager keeps a
+  /// min-heap over SimWrapper::NextArrival(), so an idle pump is O(1).
   void PumpAll(SimTime now);
 
   /// Pops up to `max` tuples of `source`, after pumping; pumps again after
@@ -107,11 +116,29 @@ class CommManager {
     bool warm = false;
   };
 
+  /// Pumps one source and refreshes its event-index entry.
+  void PumpSource(size_t i, SimTime now);
+  /// Re-keys source `i` in the arrival heap after its state changed.
+  /// Stale heap entries are left behind and skipped lazily on pop.
+  void SyncSource(size_t i);
+
   CommConfig config_;
   std::vector<std::unique_ptr<wrapper::SimWrapper>> wrappers_;
   std::vector<std::unique_ptr<TupleQueue>> queues_;
   std::vector<std::unique_ptr<RateEstimator>> estimators_;
   std::vector<PlanSnapshot> snapshots_;
+  /// Min-heap of (next arrival, source). `heap_key_[i]` is the only live
+  /// key for source i (kSimTimeNever = no live entry: exhausted or
+  /// suspended); entries whose key differs are stale and skipped.
+  std::priority_queue<std::pair<SimTime, int>,
+                      std::vector<std::pair<SimTime, int>>, std::greater<>>
+      heap_;
+  std::vector<SimTime> heap_key_;
+  /// Bumped whenever any estimator's sampled state may have changed;
+  /// lets RateChangedSincePlan() memoize a full false evaluation.
+  int64_t est_version_ = 0;
+  int64_t memo_version_ = -1;
+  bool memo_full_eval_ = false;
   SimTime last_signal_ = -1;
   int64_t rate_change_signals_ = 0;
 };

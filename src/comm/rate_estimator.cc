@@ -4,15 +4,26 @@
 
 namespace dqsched::comm {
 
-void RateEstimator::OnArrival(SimTime t) {
-  const double gap = static_cast<double>(t - last_arrival_);
-  last_arrival_ = t;
-  ++samples_;
-  if (samples_ == 1) {
-    ewma_ns_ = gap;
-  } else {
-    ewma_ns_ += alpha_ * (gap - ewma_ns_);
+void RateEstimator::OnArrivals(const SimTime* ts, int64_t n) {
+  // Locals keep the loop in registers; the per-sample float operations and
+  // their order are exactly those of the historical one-arrival update, so
+  // the resulting estimate is bit-identical for any run partitioning.
+  SimTime last = last_arrival_;
+  double ewma = ewma_ns_;
+  int64_t samples = samples_;
+  for (int64_t i = 0; i < n; ++i) {
+    const double gap = static_cast<double>(ts[i] - last);
+    last = ts[i];
+    ++samples;
+    if (samples == 1) {
+      ewma = gap;
+    } else {
+      ewma += alpha_ * (gap - ewma);
+    }
   }
+  last_arrival_ = last;
+  ewma_ns_ = ewma;
+  samples_ = samples;
 }
 
 double RateEstimator::MeanInterArrivalNs() const {

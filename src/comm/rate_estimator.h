@@ -29,8 +29,10 @@ class RateEstimator final : public wrapper::ArrivalObserver {
   void SetPrior(double mean_ns) { prior_ns_ = mean_ns; }
   double prior_ns() const { return prior_ns_; }
 
-  /// Feeds one arrival timestamp (virtual time, non-decreasing).
-  void OnArrival(SimTime t) override;
+  /// Feeds a run of arrival timestamps (virtual time, non-decreasing).
+  /// The EWMA update sequence is identical to feeding the run one
+  /// timestamp at a time — the serial-vs-bulk determinism contract.
+  void OnArrivals(const SimTime* ts, int64_t n) override;
 
   /// Advances the reference time without sampling (backpressure-resume
   /// arrivals; see wrapper::ArrivalObserver).

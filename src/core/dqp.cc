@@ -1,6 +1,7 @@
 #include "core/dqp.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/macros.h"
 
@@ -12,6 +13,22 @@ Result<Event> Dqp::RunPhase(ExecutionState& state, const SchedulingPlan& sp,
   SimDuration stalled_this_phase = 0;
   int64_t batches_this_phase = 0;
   const size_t n = sp.fragments.size();
+
+  // The active set is constant within a phase (degradation, CF activation,
+  // DQO splits and fragment completion all return to the scheduler), so
+  // resolve each scheduled fragment's runtime once; a null slot marks an
+  // inactive fragment. The selection passes below must keep their exact
+  // per-iteration call sequence: Available() on temp-backed sources issues
+  // charged disk reads that advance the virtual clock, so pass order and
+  // short-circuiting are observable in the simulated metrics.
+  std::vector<exec::FragmentRuntime*> frags(n, nullptr);
+  bool any_active = false;
+  for (size_t k = 0; k < n; ++k) {
+    if (state.FragmentActive(sp.fragments[k])) {
+      frags[k] = &state.fragment(sp.fragments[k]);
+      any_active = true;
+    }
+  }
 
   for (;;) {
     ctx.Pump();
@@ -25,13 +42,10 @@ Result<Event> Dqp::RunPhase(ExecutionState& state, const SchedulingPlan& sp,
     }
 
     // Normal interruption: a fragment's input is exhausted and drained.
-    bool any_active = false;
-    for (int id : sp.fragments) {
-      if (!state.FragmentActive(id)) continue;
-      any_active = true;
-      exec::FragmentRuntime& frag = state.fragment(id);
-      if (frag.Finished(ctx) && frag.Available(ctx) == 0) {
-        return Event{EventKind::kEndOfQf, id};
+    for (size_t k = 0; k < n; ++k) {
+      exec::FragmentRuntime* frag = frags[k];
+      if (frag != nullptr && frag->Finished(ctx) && frag->Available(ctx) == 0) {
+        return Event{EventKind::kEndOfQf, sp.fragments[k]};
       }
     }
     if (!any_active) return Event{EventKind::kPlanExhausted, -1};
@@ -46,43 +60,50 @@ Result<Event> Dqp::RunPhase(ExecutionState& state, const SchedulingPlan& sp,
     // Fallback: any fragment with data. With round_robin (MA phase 1) the
     // priority discipline rotates instead.
     int chosen = -1;
+    exec::FragmentRuntime* chosen_frag = nullptr;
     const bool relief_turn = (batches_ & 1) != 0;
     if (relief_turn) {
       for (size_t k = 0; k < n && chosen < 0; ++k) {
-        const int id = sp.fragments[k];
-        if (!state.FragmentActive(id)) continue;
-        exec::FragmentRuntime& frag = state.fragment(id);
-        if (frag.Backpressured(ctx) && frag.Available(ctx) > 0) chosen = id;
+        exec::FragmentRuntime* frag = frags[k];
+        if (frag == nullptr) continue;
+        if (frag->Backpressured(ctx) && frag->Available(ctx) > 0) {
+          chosen = sp.fragments[k];
+          chosen_frag = frag;
+        }
       }
     }
     for (size_t k = 0; k < n && chosen < 0; ++k) {
       const size_t slot = config_.round_robin ? (rr_cursor_ + k) % n : k;
-      const int id = sp.fragments[slot];
-      if (!state.FragmentActive(id)) continue;
-      exec::FragmentRuntime& frag = state.fragment(id);
-      const int64_t avail = frag.Available(ctx);
+      exec::FragmentRuntime* frag = frags[slot];
+      if (frag == nullptr) continue;
+      const int64_t avail = frag->Available(ctx);
       if (avail <= 0) continue;
       if (avail >= config_.batch_size ||
-          frag.NextArrival(ctx) == kSimTimeNever) {
-        chosen = id;
+          frag->NextArrival(ctx) == kSimTimeNever) {
+        chosen = sp.fragments[slot];
+        chosen_frag = frag;
         if (config_.round_robin) rr_cursor_ = static_cast<int>(slot + 1);
       }
     }
     for (size_t k = 0; k < n && chosen < 0; ++k) {
-      const int id = sp.fragments[k];
-      if (!state.FragmentActive(id)) continue;
-      exec::FragmentRuntime& frag = state.fragment(id);
-      if (frag.Backpressured(ctx) && frag.Available(ctx) > 0) chosen = id;
+      exec::FragmentRuntime* frag = frags[k];
+      if (frag == nullptr) continue;
+      if (frag->Backpressured(ctx) && frag->Available(ctx) > 0) {
+        chosen = sp.fragments[k];
+        chosen_frag = frag;
+      }
     }
     for (size_t k = 0; k < n && chosen < 0; ++k) {
-      const int id = sp.fragments[k];
-      if (!state.FragmentActive(id)) continue;
-      exec::FragmentRuntime& frag = state.fragment(id);
-      if (frag.Available(ctx) > 0) chosen = id;
+      exec::FragmentRuntime* frag = frags[k];
+      if (frag == nullptr) continue;
+      if (frag->Available(ctx) > 0) {
+        chosen = sp.fragments[k];
+        chosen_frag = frag;
+      }
     }
 
     if (chosen >= 0) {
-      exec::FragmentRuntime& frag = state.fragment(chosen);
+      exec::FragmentRuntime& frag = *chosen_frag;
       Result<int64_t> consumed = frag.ProcessBatch(ctx, config_.batch_size);
       if (!consumed.ok()) {
         if (consumed.status().code() == StatusCode::kResourceExhausted) {
@@ -117,9 +138,9 @@ Result<Event> Dqp::RunPhase(ExecutionState& state, const SchedulingPlan& sp,
     // ("the DQP is stalled only if there is no available data for all the
     // fragments that are scheduled").
     SimTime next = kSimTimeNever;
-    for (int id : sp.fragments) {
-      if (!state.FragmentActive(id)) continue;
-      next = std::min(next, state.fragment(id).NextArrival(ctx));
+    for (size_t k = 0; k < n; ++k) {
+      if (frags[k] == nullptr) continue;
+      next = std::min(next, frags[k]->NextArrival(ctx));
     }
     if (next == kSimTimeNever) {
       // No arrival will ever come, yet nothing was finished above: the

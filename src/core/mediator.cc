@@ -1,6 +1,9 @@
 #include "core/mediator.h"
 
 #include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "common/macros.h"
@@ -22,6 +25,75 @@ uint64_t SourceSeed(uint64_t base, SourceId source, uint64_t salt) {
 
 constexpr uint64_t kDataSalt = 0x9e3779b97f4a7c15ULL;
 constexpr uint64_t kDelaySalt = 0xc2b2ae3d27d4eb4fULL;
+
+/// Serializes everything the oracle's answer depends on: the data
+/// generator inputs (relation specs + seed) and the compiled chain
+/// structure. Annotations are excluded — the reference executor never
+/// reads estimates. Valid only because Create() derives `data` from
+/// exactly these inputs.
+std::string ReferenceKey(const plan::CompiledPlan& compiled,
+                         const wrapper::Catalog& catalog, uint64_t seed) {
+  std::string key;
+  key.reserve(512);
+  auto raw = [&key](const void* p, size_t n) {
+    key.append(static_cast<const char*>(p), n);
+  };
+  auto i64 = [&raw](int64_t v) { raw(&v, sizeof v); };
+  auto f64 = [&raw](double v) { raw(&v, sizeof v); };
+  i64(static_cast<int64_t>(seed));
+  i64(catalog.num_sources());
+  for (const wrapper::SourceSpec& s : catalog.sources) {
+    i64(s.relation.cardinality);
+    for (int64_t d : s.relation.key_domain) i64(d);
+  }
+  i64(compiled.result_chain);
+  i64(compiled.num_joins);
+  for (ChainId c : compiled.operand_of_join) i64(c);
+  for (int f : compiled.join_build_field) i64(f);
+  for (const plan::ChainInfo& c : compiled.chains) {
+    i64(c.source);
+    i64(c.is_result ? 1 : 0);
+    i64(c.sink_join);
+    i64(c.build_key_field);
+    i64(static_cast<int64_t>(c.ops.size()));
+    for (const plan::ChainOp& op : c.ops) {
+      i64(static_cast<int64_t>(op.kind));
+      i64(op.node);
+      f64(op.selectivity);
+      i64(op.join);
+      i64(op.probe_key_field);
+    }
+  }
+  return key;
+}
+
+/// Bench grids build many Mediators whose cells differ only in delay or
+/// strategy configuration; the oracle run (and its exact result) is
+/// identical across all of them. Memoize it process-wide — the reference
+/// executor is host-side verification with no simulated cost attached, so
+/// this changes no metric. The miss path runs outside the lock; a losing
+/// racer simply discards its duplicate. Entries are never erased, so the
+/// returned reference stays valid for the process lifetime.
+const plan::ReferenceResult& CachedReference(
+    const plan::CompiledPlan& compiled,
+    const std::vector<storage::Relation>& data,
+    const wrapper::Catalog& catalog, uint64_t seed) {
+  static std::mutex mu;
+  static std::unordered_map<std::string,
+                            std::unique_ptr<plan::ReferenceResult>>
+      memo;
+  std::string key = ReferenceKey(compiled, catalog, seed);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = memo.find(key);
+    if (it != memo.end()) return *it->second;
+  }
+  auto computed = std::make_unique<plan::ReferenceResult>(
+      plan::ExecuteReference(compiled, data));
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = memo.emplace(std::move(key), std::move(computed));
+  return *it->second;
+}
 
 }  // namespace
 
@@ -49,7 +121,7 @@ Result<Mediator> Mediator::Create(wrapper::Catalog catalog, plan::Plan plan,
   }
 
   plan::ReferenceResult reference =
-      plan::ExecuteReference(compiled.value(), data);
+      CachedReference(compiled.value(), data, catalog, config.seed);
 
   // Replay each wrapper's delay draws: the realized retrieval totals make
   // the lower bound tight for this exact workload instance.

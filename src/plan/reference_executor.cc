@@ -1,8 +1,7 @@
 #include "plan/reference_executor.h"
 
-#include <unordered_map>
-
 #include "common/macros.h"
+#include "exec/hash_index.h"
 
 namespace dqsched::plan {
 
@@ -13,10 +12,14 @@ ReferenceResult ExecuteReference(const CompiledPlan& compiled,
   out.chains.resize(static_cast<size_t>(compiled.num_chains()));
   out.op_outputs.resize(static_cast<size_t>(compiled.num_chains()));
 
-  // Per join: the materialized build operand and its key index.
+  // Per join: the materialized build operand and its key index. The
+  // open-addressing HashIndex replaces an unordered_multimap here; it only
+  // changes the order in which a probe's matches are emitted, and every
+  // consumer of this result is order-insensitive (cardinalities and the
+  // commutative ResultChecksum).
   std::vector<std::vector<Tuple>> operands(
       static_cast<size_t>(compiled.num_joins));
-  std::vector<std::unordered_multimap<int64_t, size_t>> indexes(
+  std::vector<exec::HashIndex> indexes(
       static_cast<size_t>(compiled.num_joins));
 
   for (ChainId id : compiled.IteratorModelOrder()) {
@@ -43,16 +46,20 @@ ReferenceResult ExecuteReference(const CompiledPlan& compiled,
         case ChainOpKind::kProbe: {
           const auto& operand = operands[static_cast<size_t>(op.join)];
           const auto& index = indexes[static_cast<size_t>(op.join)];
-          for (const Tuple& t : cur) {
+          next.reserve(cur.size());
+          for (size_t i = 0; i < cur.size(); ++i) {
+            if (i + 1 < cur.size()) {
+              index.Prefetch(
+                  cur[i + 1].keys[static_cast<size_t>(op.probe_key_field)]);
+            }
+            const Tuple& t = cur[i];
             const int64_t key =
                 t.keys[static_cast<size_t>(op.probe_key_field)];
-            auto [lo, hi] = index.equal_range(key);
-            for (auto it = lo; it != hi; ++it) {
+            index.ForEachMatch(key, [&](size_t match) {
               Tuple r = t;  // probe-side fields carry through
-              r.rowid = storage::CombineRowid(operand[it->second].rowid,
-                                              t.rowid);
+              r.rowid = storage::CombineRowid(operand[match].rowid, t.rowid);
               next.push_back(r);
-            }
+            });
           }
           break;
         }
@@ -71,12 +78,8 @@ ReferenceResult ExecuteReference(const CompiledPlan& compiled,
       const int field =
           compiled.join_build_field[static_cast<size_t>(chain.sink_join)];
       auto& operand = operands[static_cast<size_t>(chain.sink_join)];
-      auto& index = indexes[static_cast<size_t>(chain.sink_join)];
       operand = std::move(cur);
-      index.reserve(operand.size());
-      for (size_t i = 0; i < operand.size(); ++i) {
-        index.emplace(operand[i].keys[static_cast<size_t>(field)], i);
-      }
+      indexes[static_cast<size_t>(chain.sink_join)].Build(operand, field);
     }
   }
   return out;

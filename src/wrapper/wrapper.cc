@@ -38,23 +38,39 @@ void SimWrapper::PumpInto(comm::TupleQueue& queue, SimTime now,
       suspended_ = true;
       return;
     }
-    queue.Push(relation_->tuples[static_cast<size_t>(next_index_)]);
+    // Collect the longest run of tuples ready <= now that fits in the
+    // queue, drawing each delay exactly as per-tuple delivery would, then
+    // move the run as one contiguous span (the relation's tuple array is
+    // the source) with a single observer notification.
+    int64_t space = queue.SpaceLeft();
+    if (space > max_run_) space = max_run_;
+    const int64_t start = next_index_;
+    ts_scratch_.clear();
+    do {
+      ts_scratch_.push_back(next_ready_);
+      ++next_index_;
+      if (next_index_ < cardinality()) {
+        next_ready_ += model_->NextDelay(next_index_, rng_);
+      }
+    } while (next_index_ < cardinality() && next_ready_ <= now &&
+             static_cast<int64_t>(ts_scratch_.size()) < space);
+    const int64_t run = static_cast<int64_t>(ts_scratch_.size());
+    queue.PushBatch(&relation_->tuples[static_cast<size_t>(start)], run);
     if (observer != nullptr) {
+      const SimTime* ts = ts_scratch_.data();
+      int64_t n = run;
       // The first post-suspension gap reflects mediator backpressure, not
       // the source's delivery rate: advance the observer without sampling.
       if (resumed) {
-        observer->OnArrivalSuppressed(next_ready_);
-        resumed = false;
-      } else {
-        observer->OnArrival(next_ready_);
+        observer->OnArrivalSuppressed(ts[0]);
+        ++ts;
+        --n;
       }
+      if (n > 0) observer->OnArrivals(ts, n);
     }
-    ++stats_.tuples_delivered;
-    stats_.finished_at = next_ready_;
-    ++next_index_;
-    if (next_index_ < cardinality()) {
-      next_ready_ += model_->NextDelay(next_index_, rng_);
-    }
+    resumed = false;
+    stats_.tuples_delivered += run;
+    stats_.finished_at = ts_scratch_.back();
   }
   if (Exhausted() && !queue.producer_closed()) queue.CloseProducer();
 }

@@ -9,7 +9,9 @@
 #ifndef DQSCHED_WRAPPER_WRAPPER_H_
 #define DQSCHED_WRAPPER_WRAPPER_H_
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "comm/tuple_queue.h"
 #include "common/ids.h"
@@ -25,7 +27,11 @@ namespace dqsched::wrapper {
 class ArrivalObserver {
  public:
   virtual ~ArrivalObserver() = default;
-  virtual void OnArrival(SimTime t) = 0;
+  /// A run of `n` tuples entered the queue at non-decreasing virtual times
+  /// `ts[0..n)`. One virtual call per delivered run, not per tuple; the
+  /// observer must process the timestamps in order, exactly as if each had
+  /// been reported individually.
+  virtual void OnArrivals(const SimTime* ts, int64_t n) = 0;
   /// A tuple entered the queue at `t` after a window-protocol suspension:
   /// its gap measures the mediator's backpressure, not the source's rate,
   /// so rate estimators advance their reference time without sampling.
@@ -57,14 +63,26 @@ class SimWrapper {
   /// Tuples not yet pushed into the queue.
   int64_t remaining() const { return cardinality() - next_index_; }
   bool Exhausted() const { return next_index_ >= cardinality(); }
+  /// Production suspended on a full queue; resumes via PumpInto after a
+  /// drain (window protocol).
+  bool Suspended() const { return suspended_; }
 
   /// Delivers every tuple whose production time is <= `now` into `queue`,
   /// stopping (suspended) if the queue fills. Call again after draining the
   /// queue to resume production from the drain time. Closes the queue's
   /// producer side after the last tuple. `observer` (may be null) sees each
-  /// tuple's arrival timestamp.
+  /// tuple's arrival timestamp. Ready tuples are delivered as contiguous
+  /// runs (one PushBatch + one OnArrivals per run).
   void PumpInto(comm::TupleQueue& queue, SimTime now,
                 ArrivalObserver* observer = nullptr);
+
+  /// Caps delivery runs at one tuple, forcing the pre-bulk per-tuple
+  /// transport path. Observable state (queue contents, stats, observer
+  /// sample sequence, rng stream) must be identical either way; the
+  /// serial-vs-bulk determinism test relies on this switch.
+  void set_serial_delivery(bool serial) {
+    max_run_ = serial ? 1 : kNoRunCap;
+  }
 
   /// Earliest virtual time the next tuple can enter the queue given space,
   /// or kSimTimeNever when exhausted or suspended (a suspended wrapper only
@@ -82,6 +100,8 @@ class SimWrapper {
   const WrapperStats& stats() const { return stats_; }
 
  private:
+  static constexpr int64_t kNoRunCap = INT64_MAX;
+
   SourceId id_;
   const storage::Relation* relation_;
   std::unique_ptr<DelayModel> model_;
@@ -89,6 +109,9 @@ class SimWrapper {
   int64_t next_index_ = 0;
   SimTime next_ready_ = 0;
   bool suspended_ = false;
+  int64_t max_run_ = kNoRunCap;
+  /// Arrival timestamps of the run being delivered (reused across pumps).
+  std::vector<SimTime> ts_scratch_;
   WrapperStats stats_;
 };
 

@@ -36,6 +36,20 @@ DelayConfig ConstantDelay(double us) {
   return d;
 }
 
+void FeedArrival(RateEstimator& est, SimTime t) { est.OnArrivals(&t, 1); }
+
+/// Records every observer notification, preserving run boundaries.
+struct Capture : wrapper::ArrivalObserver {
+  std::vector<SimTime> times;
+  std::vector<SimTime> suppressed;
+  std::vector<int64_t> runs;
+  void OnArrivals(const SimTime* ts, int64_t n) override {
+    runs.push_back(n);
+    times.insert(times.end(), ts, ts + n);
+  }
+  void OnArrivalSuppressed(SimTime t) override { suppressed.push_back(t); }
+};
+
 TEST(TupleQueue, PushPopFifo) {
   TupleQueue q(10);
   Tuple t;
@@ -89,6 +103,76 @@ TEST(TupleQueue, CountsPushedAndPopped) {
   q.PopBatch(out, 1);
   EXPECT_EQ(q.total_pushed(), 2);
   EXPECT_EQ(q.total_popped(), 1);
+}
+
+TEST(TupleQueue, WraparoundPreservesFifoOrder) {
+  TupleQueue q(8);
+  Tuple t;
+  Tuple out[8];
+  uint64_t next = 0;
+  uint64_t expect = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      t.rowid = next++;
+      q.Push(t);
+    }
+    ASSERT_EQ(q.PopBatch(out, 5), 5);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i].rowid, expect++);
+    // Conservation holds at every ring position.
+    EXPECT_EQ(q.total_pushed(), q.total_popped() + q.size());
+  }
+  EXPECT_EQ(q.total_pushed(), 50);
+  EXPECT_EQ(q.total_popped(), 50);
+}
+
+TEST(TupleQueue, PushBatchAndPopBatchSpanTheSeam) {
+  TupleQueue q(8);
+  Tuple buf[8];
+  Tuple out[8];
+  // Advance the ring position to 5 so a 6-tuple batch wraps the seam.
+  Tuple t;
+  for (int i = 0; i < 5; ++i) q.Push(t);
+  ASSERT_EQ(q.PopBatch(out, 5), 5);
+  for (uint64_t i = 0; i < 6; ++i) buf[i].rowid = i;
+  q.PushBatch(buf, 6);  // occupies slots 5,6,7 then wraps to 0,1,2
+  EXPECT_EQ(q.size(), 6);
+  ASSERT_EQ(q.PopBatch(out, 6), 6);
+  for (uint64_t i = 0; i < 6; ++i) EXPECT_EQ(out[i].rowid, i);
+}
+
+TEST(TupleQueue, NonPowerOfTwoCapacityIsExact) {
+  TupleQueue q(5);  // storage rounds up to 8; occupancy must cap at 5
+  EXPECT_EQ(q.capacity(), 5);
+  Tuple t;
+  for (int i = 0; i < 5; ++i) q.Push(t);
+  EXPECT_TRUE(q.Full());
+  EXPECT_EQ(q.SpaceLeft(), 0);
+  Tuple out[3];
+  q.PopBatch(out, 3);
+  EXPECT_EQ(q.SpaceLeft(), 3);
+  EXPECT_FALSE(q.Full());
+}
+
+TEST(TupleQueue, CloseWhileWrappedDrainsToExhaustion) {
+  TupleQueue q(4);
+  Tuple t;
+  Tuple out[4];
+  q.Push(t);
+  q.Push(t);
+  q.Push(t);
+  q.PopBatch(out, 3);  // subsequent pushes wrap the 4-slot storage
+  for (uint64_t i = 0; i < 4; ++i) {
+    t.rowid = i;
+    q.Push(t);
+  }
+  q.CloseProducer();
+  EXPECT_TRUE(q.Full());
+  EXPECT_FALSE(q.Exhausted());  // data still buffered across the seam
+  ASSERT_EQ(q.PopBatch(out, 4), 4);
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(out[i].rowid, i);
+  EXPECT_TRUE(q.Exhausted());
+  EXPECT_EQ(q.total_pushed(), 7);
+  EXPECT_EQ(q.total_popped(), 7);
 }
 
 TEST(SimWrapper, DeliversOnSchedule) {
@@ -160,10 +244,6 @@ TEST(SimWrapper, EmptyRelationClosesImmediately) {
 }
 
 TEST(SimWrapper, ObserverSeesArrivalTimes) {
-  struct Capture : wrapper::ArrivalObserver {
-    std::vector<SimTime> times;
-    void OnArrival(SimTime t) override { times.push_back(t); }
-  };
   const Relation rel = MakeRelation(3);
   SimWrapper w(0, &rel, ConstantDelay(10.0), 1);
   TupleQueue q(10);
@@ -172,14 +252,65 @@ TEST(SimWrapper, ObserverSeesArrivalTimes) {
   ASSERT_EQ(cap.times.size(), 3u);
   EXPECT_EQ(cap.times[0], Microseconds(10));
   EXPECT_EQ(cap.times[2], Microseconds(30));
+  // All three tuples were ready: one bulk run, one observer call.
+  ASSERT_EQ(cap.runs.size(), 1u);
+  EXPECT_EQ(cap.runs[0], 3);
+}
+
+TEST(SimWrapper, SerialDeliveryMatchesBulk) {
+  // Drive the full window protocol (suspend, resume, suppressed arrival)
+  // with runs capped at one tuple and uncapped; every observable — popped
+  // rowids, observer samples, suppressed arrivals, wrapper stats — must
+  // coincide. Queue of 4 drained 3-at-a-time against a 10 us producer
+  // guarantees backpressure.
+  const Relation rel = MakeRelation(50);
+  struct Observed {
+    std::vector<uint64_t> rowids;
+    std::vector<SimTime> times;
+    std::vector<SimTime> suppressed;
+    int64_t delivered = 0;
+    SimDuration blocked = 0;
+    SimTime finished_at = 0;
+  };
+  auto run = [&rel](bool serial) {
+    SimWrapper w(0, &rel, ConstantDelay(10.0), 1);
+    w.set_serial_delivery(serial);
+    TupleQueue q(4);
+    Capture cap;
+    Observed obs;
+    SimTime t = 0;
+    while (!q.Exhausted()) {
+      t += Microseconds(35);
+      w.PumpInto(q, t, &cap);
+      Tuple out[3];
+      const int64_t n = q.PopBatch(out, 3);
+      for (int64_t i = 0; i < n; ++i) obs.rowids.push_back(out[i].rowid);
+      w.PumpInto(q, t, &cap);  // resume a suspended producer
+    }
+    obs.times = cap.times;
+    obs.suppressed = cap.suppressed;
+    obs.delivered = w.stats().tuples_delivered;
+    obs.blocked = w.stats().blocked;
+    obs.finished_at = w.stats().finished_at;
+    return obs;
+  };
+  const Observed serial = run(true);
+  const Observed bulk = run(false);
+  EXPECT_EQ(serial.rowids, bulk.rowids);
+  EXPECT_EQ(serial.times, bulk.times);
+  EXPECT_EQ(serial.suppressed, bulk.suppressed);
+  EXPECT_EQ(serial.delivered, bulk.delivered);
+  EXPECT_EQ(serial.blocked, bulk.blocked);
+  EXPECT_EQ(serial.finished_at, bulk.finished_at);
+  EXPECT_FALSE(serial.suppressed.empty());  // the protocol was exercised
 }
 
 TEST(RateEstimator, UsesPriorUntilWarmup) {
   RateEstimator est(0.1, /*warmup=*/4);
   est.SetPrior(5000.0);
   EXPECT_DOUBLE_EQ(est.MeanInterArrivalNs(), 5000.0);
-  est.OnArrival(100);
-  est.OnArrival(200);
+  FeedArrival(est, 100);
+  FeedArrival(est, 200);
   EXPECT_DOUBLE_EQ(est.MeanInterArrivalNs(), 5000.0);  // still warming up
 }
 
@@ -189,7 +320,7 @@ TEST(RateEstimator, ConvergesToActualRate) {
   SimTime t = 0;
   for (int i = 0; i < 500; ++i) {
     t += Microseconds(20);
-    est.OnArrival(t);
+    FeedArrival(est, t);
   }
   EXPECT_NEAR(est.MeanInterArrivalNs(), 20000.0, 100.0);
 }
@@ -199,12 +330,12 @@ TEST(RateEstimator, TracksRateChanges) {
   SimTime t = 0;
   for (int i = 0; i < 300; ++i) {
     t += Microseconds(20);
-    est.OnArrival(t);
+    FeedArrival(est, t);
   }
   const double before = est.MeanInterArrivalNs();
   for (int i = 0; i < 300; ++i) {
     t += Microseconds(100);
-    est.OnArrival(t);
+    FeedArrival(est, t);
   }
   EXPECT_GT(est.MeanInterArrivalNs(), before * 3);
 }

@@ -11,6 +11,8 @@ Checks, over src/**:
                  (user-input paths must return Status, not crash)
   raw-abort      abort()/exit() calls outside common/macros.h
   using-std      `using namespace std` at any scope
+  queue-push     per-tuple TupleQueue::Push outside src/comm — the data
+                 plane moves tuples with span PushBatch/PopBatch only
 
 Exits 0 when clean; prints findings as `path:line: [rule] message` and
 exits 1 otherwise.
@@ -177,6 +179,25 @@ def check_using_std(path, text):
             finding(path, i + 1, "using-std", "`using namespace std` banned")
 
 
+def check_queue_push(path, rel, text):
+    """Per-tuple `.Push(` on a TupleQueue outside the comm layer defeats the
+    bulk transport: producers must deliver spans via PushBatch. TupleQueue
+    is the only class in the tree with a `Push` method, so any member call
+    spelled `.Push(`/`->Push(` outside src/comm is a violation (this also
+    catches producers that reach the queue through transitive includes)."""
+    if rel.parts[0] == "comm":
+        return
+    for i, line in enumerate(text.splitlines()):
+        if re.search(r"(?:\.|->)Push\s*\(", line):
+            finding(
+                path,
+                i + 1,
+                "queue-push",
+                "per-tuple TupleQueue::Push outside src/comm; deliver a "
+                "span with PushBatch",
+            )
+
+
 def main():
     root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     src = root / "src"
@@ -195,6 +216,7 @@ def main():
         check_input_paths(path, stripped)
         check_raw_abort(path, rel, stripped)
         check_using_std(path, stripped)
+        check_queue_push(path, rel, stripped)
 
     check_nodiscard(src / "common" / "status.h")
 
