@@ -1,5 +1,7 @@
 #include "comm/comm_manager.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 
 namespace dqsched::comm {
@@ -16,6 +18,7 @@ void CommManager::AddSource(std::unique_ptr<wrapper::SimWrapper> w,
   est->SetPrior(prior_wait_ns);
   estimators_.push_back(std::move(est));
   snapshots_.push_back(PlanSnapshot{prior_wait_ns, 0});
+  fault_state_.emplace_back();
   heap_key_.push_back(kSimTimeNever);
   const size_t i = wrappers_.size() - 1;
   if (wrappers_[i]->Exhausted()) {
@@ -38,7 +41,27 @@ void CommManager::PumpSource(size_t i, SimTime now) {
   auto& q = *queues_[i];
   const int64_t before = q.total_pushed();
   wrappers_[i]->PumpInto(q, now, estimators_[i].get());
-  if (q.total_pushed() != before) ++est_version_;
+  if (q.total_pushed() != before) {
+    ++est_version_;
+    if (config_.failure_detection) OnDelivery(i);
+  }
+  if (wrappers_[i]->has_faults()) {
+    IngestReplayWindows(i);
+    // A replayed duplicate run at the queue head will never be consumed,
+    // so drop it as soon as it is delivered. Waiting for a consumer Pop
+    // can deadlock: a producer suspended on a queue holding only
+    // duplicates has nothing fresh to offer, so no consumer ever pops,
+    // and the queue never drains. Discarding may free capacity, so keep
+    // pumping while the producer has more to deliver right now.
+    while (DiscardDupPrefix(i) && wrappers_[i]->Suspended()) {
+      const int64_t b = q.total_pushed();
+      wrappers_[i]->PumpInto(q, now, estimators_[i].get());
+      if (q.total_pushed() == b) break;
+      ++est_version_;
+      if (config_.failure_detection) OnDelivery(i);
+      IngestReplayWindows(i);
+    }
+  }
   SyncSource(i);
 }
 
@@ -57,7 +80,9 @@ int64_t CommManager::Pop(SourceId source, SimTime now, storage::Tuple* out,
   auto& w = *wrappers_[i];
   auto& q = *queues_[i];
   if (w.NextArrival() <= now) PumpSource(i, now);
-  const int64_t n = q.PopBatch(out, max);
+  const int64_t n = fault_state_[i].windows.empty()
+                        ? q.PopBatch(out, max)
+                        : PopDeduped(i, out, max);
   // Draining may unblock a suspended producer: its pending tuple enters at
   // the drain time.
   if (w.Suspended() || w.NextArrival() <= now) PumpSource(i, now);
@@ -69,12 +94,16 @@ int64_t CommManager::Available(SourceId source, SimTime now) {
   // A pump is a no-op unless an arrival is due (a suspended wrapper's
   // NextArrival is kSimTimeNever, and it only resumes inside Pop).
   if (wrappers_[i]->NextArrival() <= now) PumpSource(i, now);
-  return queues_[i]->size();
+  return FreshInQueue(i);
 }
 
 bool CommManager::SourceExhausted(SourceId source) const {
-  return wrappers_[static_cast<size_t>(source)]->Exhausted() &&
-         queues_[static_cast<size_t>(source)]->Empty();
+  const size_t i = static_cast<size_t>(source);
+  // An abandoned source's stream is over from the consumer's perspective
+  // even though its wrapper never produced everything; trailing replay
+  // duplicates left in the queue don't count as consumable.
+  return (wrappers_[i]->Exhausted() || fault_state_[i].abandoned) &&
+         FreshInQueue(i) == 0;
 }
 
 SimTime CommManager::NextArrival(SourceId source) const {
@@ -90,8 +119,13 @@ bool CommManager::EstimateWarm(SourceId source) const {
 }
 
 int64_t CommManager::RemainingTuples(SourceId source) const {
-  return wrappers_[static_cast<size_t>(source)]->remaining() +
-         queues_[static_cast<size_t>(source)]->size();
+  const size_t i = static_cast<size_t>(source);
+  // An abandoned wrapper's remainder will never arrive; what's left for
+  // the scheduler's n_p is only the fresh queued tail. (A merely dead
+  // source still counts its remainder: the mediator doesn't know yet.)
+  const int64_t upstream =
+      fault_state_[i].abandoned ? 0 : wrappers_[i]->remaining();
+  return upstream + FreshInQueue(i);
 }
 
 void CommManager::MarkPlanned(SimTime) {
@@ -150,6 +184,174 @@ bool CommManager::RateChangedSincePlan(SimTime now) {
   memo_version_ = est_version_;
   memo_full_eval_ = true;
   return false;
+}
+
+void CommManager::OnDelivery(size_t i) {
+  SourceFaultState& fs = fault_state_[i];
+  // The wrapper's finished_at is the virtual arrival timestamp of its last
+  // delivered tuple — precise, and independent of when the pump ran.
+  fs.last_arrival = wrappers_[i]->stats().finished_at;
+  if (fs.health != Health::kHealthy && !fs.abandoned) {
+    fs.health = Health::kHealthy;
+    ++recoveries_;
+    fault_signals_.push_back(FaultSignal{FaultSignal::Kind::kRecovered,
+                                         static_cast<SourceId>(i)});
+  }
+}
+
+void CommManager::IngestReplayWindows(size_t i) {
+  const std::vector<wrapper::ReplayWindow>& ws =
+      wrappers_[i]->replay_windows();
+  SourceFaultState& fs = fault_state_[i];
+  while (fs.windows_ingested < ws.size()) {
+    fs.windows.push_back(ws[fs.windows_ingested]);
+    ++fs.windows_ingested;
+  }
+}
+
+int64_t CommManager::PopDeduped(size_t i, storage::Tuple* out, int64_t max) {
+  TupleQueue& q = *queues_[i];
+  SourceFaultState& fs = fault_state_[i];
+  int64_t produced = 0;
+  while (produced < max) {
+    DiscardDupPrefix(i);
+    if (q.Empty()) break;
+    // Fresh tuples up to the next pending window (or the whole queue).
+    int64_t want = max - produced;
+    if (!fs.windows.empty()) {
+      want = std::min(want, fs.windows.front().begin - q.total_popped());
+    }
+    const int64_t got = q.PopBatch(out + produced, want);
+    if (got == 0) break;
+    produced += got;
+  }
+  return produced;
+}
+
+bool CommManager::DiscardDupPrefix(size_t i) {
+  TupleQueue& q = *queues_[i];
+  SourceFaultState& fs = fault_state_[i];
+  bool discarded = false;
+  for (;;) {
+    // Prune windows that are entirely behind the pop cursor.
+    while (!fs.windows.empty() && fs.windows.front().end <= q.total_popped()) {
+      fs.windows.erase(fs.windows.begin());
+    }
+    if (fs.windows.empty() || q.Empty()) break;
+    const int64_t pos = q.total_popped();
+    if (pos < fs.windows.front().begin) break;
+    // The head of the queue is a run of replayed duplicates: pop them into
+    // scratch and drop them. Discards never count as consumed tuples.
+    const int64_t dup = std::min(fs.windows.front().end - pos, q.size());
+    if (static_cast<int64_t>(discard_scratch_.size()) < dup) {
+      discard_scratch_.resize(static_cast<size_t>(dup));
+    }
+    const int64_t got = q.PopBatch(discard_scratch_.data(), dup);
+    fs.replay_discarded += got;
+    replay_discarded_total_ += got;
+    discarded = true;
+  }
+  return discarded;
+}
+
+int64_t CommManager::FreshInQueue(size_t i) const {
+  const TupleQueue& q = *queues_[i];
+  int64_t fresh = q.size();
+  for (const wrapper::ReplayWindow& w : fault_state_[i].windows) {
+    const int64_t b = std::max(w.begin, q.total_popped());
+    const int64_t e = std::min(w.end, q.total_pushed());
+    if (e > b) fresh -= e - b;
+  }
+  return fresh;
+}
+
+SimDuration CommManager::SuspectTimeout(size_t i) const {
+  const auto scaled = static_cast<SimDuration>(
+      config_.suspect_wait_factor * estimators_[i]->MeanInterArrivalNs());
+  return std::max(scaled, config_.suspect_silence_floor);
+}
+
+SimDuration CommManager::DeadTimeout(size_t i) const {
+  const auto scaled = static_cast<SimDuration>(
+      config_.dead_wait_factor * estimators_[i]->MeanInterArrivalNs());
+  return std::max(scaled, config_.dead_silence_floor);
+}
+
+bool CommManager::WatchedForLiveness(size_t i) const {
+  const SourceFaultState& fs = fault_state_[i];
+  if (fs.abandoned || fs.health == Health::kDead) return false;
+  // A suspended wrapper is silent because of mediator backpressure, not a
+  // fault, and an exhausted one is done; neither is watched.
+  return !wrappers_[i]->Exhausted() && !wrappers_[i]->Suspended();
+}
+
+void CommManager::UpdateFaultState(SimTime now) {
+  if (!config_.failure_detection) return;
+  for (size_t i = 0; i < wrappers_.size(); ++i) {
+    if (!WatchedForLiveness(i)) continue;
+    SourceFaultState& fs = fault_state_[i];
+    const SimDuration silence = now - fs.last_arrival;
+    if (fs.health == Health::kHealthy && silence >= SuspectTimeout(i)) {
+      fs.health = Health::kSuspected;
+      ++suspicions_;
+      fault_signals_.push_back(
+          FaultSignal{FaultSignal::Kind::kDown, static_cast<SourceId>(i)});
+    }
+    if (fs.health == Health::kSuspected && silence >= DeadTimeout(i)) {
+      fs.health = Health::kDead;
+      ++declared_dead_;
+      fault_signals_.push_back(
+          FaultSignal{FaultSignal::Kind::kDead, static_cast<SourceId>(i)});
+    }
+  }
+}
+
+bool CommManager::TakeFaultSignal(FaultSignal* out) {
+  if (fault_signals_.empty()) return false;
+  *out = fault_signals_.front();
+  fault_signals_.pop_front();
+  return true;
+}
+
+SimTime CommManager::NextFaultDeadline(SimTime now) const {
+  if (!config_.failure_detection) return kSimTimeNever;
+  SimTime next = kSimTimeNever;
+  for (size_t i = 0; i < wrappers_.size(); ++i) {
+    if (!WatchedForLiveness(i)) continue;
+    const SourceFaultState& fs = fault_state_[i];
+    SimTime t = fs.health == Health::kHealthy
+                    ? fs.last_arrival + SuspectTimeout(i)
+                    : fs.last_arrival + DeadTimeout(i);
+    // A threshold already crossed fires on the very next detector run.
+    if (t <= now) t = now + 1;
+    next = std::min(next, t);
+  }
+  return next;
+}
+
+bool CommManager::SourceSuspected(SourceId source) const {
+  return fault_state_[static_cast<size_t>(source)].health != Health::kHealthy;
+}
+
+bool CommManager::SourceDead(SourceId source) const {
+  return fault_state_[static_cast<size_t>(source)].health == Health::kDead;
+}
+
+void CommManager::AbandonSource(SourceId source) {
+  const size_t i = static_cast<size_t>(source);
+  SourceFaultState& fs = fault_state_[i];
+  DQS_CHECK_MSG(fs.health == Health::kDead,
+                "abandoning source %d, which is not declared dead", source);
+  if (fs.abandoned) return;
+  fs.abandoned = true;
+  wrappers_[i]->Abandon();
+  if (!queues_[i]->producer_closed()) queues_[i]->CloseProducer();
+  SyncSource(i);       // NextArrival is now kSimTimeNever
+  ++est_version_;      // the scheduler's inputs changed
+}
+
+int64_t CommManager::ReplayDiscarded(SourceId source) const {
+  return fault_state_[static_cast<size_t>(source)].replay_discarded;
 }
 
 }  // namespace dqsched::comm

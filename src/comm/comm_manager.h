@@ -10,6 +10,7 @@
 #ifndef DQSCHED_COMM_COMM_MANAGER_H_
 #define DQSCHED_COMM_COMM_MANAGER_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -44,6 +45,37 @@ struct CommConfig {
   /// per-tuple transport path. Observable behavior must be identical to
   /// bulk delivery (see tests/transport_determinism_test.cc).
   bool serial_transport = false;
+
+  // --- Failure detection (fault-tolerant communication layer) ---
+  /// Master switch. Mediator::Create arms it when any catalog source
+  /// carries a fault schedule; with it off (the default) every detection
+  /// code path is skipped, keeping fault-free runs bit-identical to
+  /// builds that predate the fault layer.
+  bool failure_detection = false;
+  /// A silent source is suspected down once its silence exceeds this
+  /// multiple of its estimated inter-arrival wait ...
+  double suspect_wait_factor = 64.0;
+  /// ... but never sooner than this floor (early estimates can sit on an
+  /// optimistic prior; see DESIGN.md §8).
+  SimDuration suspect_silence_floor = Milliseconds(50);
+  /// A suspected source is declared dead once its silence exceeds this
+  /// multiple of the estimated wait ...
+  double dead_wait_factor = 256.0;
+  /// ... with its own, much larger, floor.
+  SimDuration dead_silence_floor = Milliseconds(500);
+};
+
+/// Liveness transition emitted by the failure detector; drained by the
+/// query processor (Dqp::RunPhase) and surfaced as SourceDown /
+/// SourceRecovered events alongside the rate-change signal.
+struct FaultSignal {
+  enum class Kind {
+    kDown,       // silence exceeded the suspect threshold
+    kDead,       // silence exceeded the declared-dead threshold
+    kRecovered,  // a suspected/dead source delivered again
+  };
+  Kind kind = Kind::kDown;
+  SourceId source = kInvalidId;
 };
 
 /// Mediator-side communication endpoint for all wrappers of one execution.
@@ -102,6 +134,47 @@ class CommManager {
 
   int64_t rate_change_signals() const { return rate_change_signals_; }
 
+  // --- Failure detection (all no-ops / false unless armed) ---
+
+  bool failure_detection() const { return config_.failure_detection; }
+
+  /// Advances the per-source liveness state machine to `now`. Threshold
+  /// crossings enqueue FaultSignals for TakeFaultSignal.
+  void UpdateFaultState(SimTime now);
+
+  /// Pops the oldest pending liveness transition; false when none.
+  bool TakeFaultSignal(FaultSignal* out);
+
+  /// Earliest future virtual time any watched source can cross a liveness
+  /// threshold (kSimTimeNever when nothing is watched). The query
+  /// processor stalls no further than this, so detection keeps pace with
+  /// the virtual clock even when every stream is silent.
+  SimTime NextFaultDeadline(SimTime now) const;
+
+  /// Suspected down or declared dead (and not recovered since).
+  bool SourceSuspected(SourceId source) const;
+  /// Declared dead by the detector.
+  bool SourceDead(SourceId source) const;
+
+  /// Gives up on a declared-dead source (partial-result policy): the
+  /// wrapper is silenced, its stream is closed, and the consumer drains
+  /// whatever already arrived. Irreversible.
+  void AbandonSource(SourceId source);
+
+  /// Replayed duplicates discarded on pop for `source` / in total. The
+  /// invariant auditor's conservation law is popped == consumed +
+  /// ReplayDiscarded.
+  int64_t ReplayDiscarded(SourceId source) const;
+  int64_t replay_discarded_total() const { return replay_discarded_total_; }
+
+  /// Healthy->suspected transitions observed (a flapping source counts
+  /// once per episode).
+  int64_t fault_suspicions() const { return suspicions_; }
+  /// Suspected->dead transitions observed.
+  int64_t fault_declared_dead() const { return declared_dead_; }
+  /// Suspected/dead->healthy transitions observed.
+  int64_t fault_recoveries() const { return recoveries_; }
+
   const wrapper::SimWrapper& wrapper(SourceId source) const {
     return *wrappers_[static_cast<size_t>(source)];
   }
@@ -116,11 +189,42 @@ class CommManager {
     bool warm = false;
   };
 
+  enum class Health { kHealthy, kSuspected, kDead };
+
+  struct SourceFaultState {
+    /// Arrival timestamp of the last delivered tuple (0 = none yet, so
+    /// silence is measured from query start).
+    SimTime last_arrival = 0;
+    Health health = Health::kHealthy;
+    bool abandoned = false;
+    int64_t replay_discarded = 0;
+    /// Wrapper replay windows copied so far (wrapper-side vector prefix).
+    size_t windows_ingested = 0;
+    /// Pending replay windows in absolute push positions, front = oldest.
+    /// Disjoint and increasing; fully-popped fronts are pruned on pop.
+    std::vector<wrapper::ReplayWindow> windows;
+  };
+
   /// Pumps one source and refreshes its event-index entry.
   void PumpSource(size_t i, SimTime now);
   /// Re-keys source `i` in the arrival heap after its state changed.
   /// Stale heap entries are left behind and skipped lazily on pop.
   void SyncSource(size_t i);
+  /// A delivery from source `i` landed: refresh liveness, signal recovery.
+  void OnDelivery(size_t i);
+  /// Copies new replay windows from the wrapper (fault runs only).
+  void IngestReplayWindows(size_t i);
+  /// Pop that discards replayed duplicates by absolute position.
+  int64_t PopDeduped(size_t i, storage::Tuple* out, int64_t max);
+  /// Drops the run of replayed duplicates at the queue head, if any.
+  /// Returns whether anything was discarded (capacity may have freed).
+  bool DiscardDupPrefix(size_t i);
+  /// Queued tuples that are not pending replay duplicates.
+  int64_t FreshInQueue(size_t i) const;
+  SimDuration SuspectTimeout(size_t i) const;
+  SimDuration DeadTimeout(size_t i) const;
+  /// Liveness is tracked only for sources that can still deliver.
+  bool WatchedForLiveness(size_t i) const;
 
   CommConfig config_;
   std::vector<std::unique_ptr<wrapper::SimWrapper>> wrappers_;
@@ -141,6 +245,17 @@ class CommManager {
   bool memo_full_eval_ = false;
   SimTime last_signal_ = -1;
   int64_t rate_change_signals_ = 0;
+
+  // Failure-detection state (inert unless config_.failure_detection,
+  // except the replay windows, which follow the wrapper's fault schedule).
+  std::vector<SourceFaultState> fault_state_;
+  std::deque<FaultSignal> fault_signals_;
+  /// Scratch for popping duplicates into oblivion.
+  std::vector<storage::Tuple> discard_scratch_;
+  int64_t suspicions_ = 0;
+  int64_t declared_dead_ = 0;
+  int64_t recoveries_ = 0;
+  int64_t replay_discarded_total_ = 0;
 };
 
 }  // namespace dqsched::comm

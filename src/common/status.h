@@ -21,6 +21,8 @@ enum class StatusCode {
   kResourceExhausted, // memory budget cannot accommodate the request
   kFailedPrecondition,// operation invoked in the wrong engine state
   kInternal,          // invariant violation surfaced as a recoverable error
+  kUnavailable,       // a remote source was declared dead mid-query
+  kDeadlineExceeded,  // the query's virtual-time budget expired
 };
 
 /// Returns a short stable name for `code` ("OK", "InvalidArgument", ...).
@@ -51,6 +53,12 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  [[nodiscard]] static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -33,6 +33,36 @@ Result<Event> Dqp::RunPhase(ExecutionState& state, const SchedulingPlan& sp,
   for (;;) {
     ctx.Pump();
 
+    // Abnormal interruption: the query's virtual-time budget expired.
+    if (config_.deadline > 0 && ctx.clock.now() >= config_.deadline) {
+      state.trace().Record(ctx.clock.now(), TraceEventKind::kDeadline, -1,
+                           "query deadline expired");
+      return Event{EventKind::kDeadlineExceeded, -1};
+    }
+
+    // Abnormal interruption: a liveness transition from the failure
+    // detector (armed only for fault-injection runs).
+    if (ctx.comm.failure_detection()) {
+      ctx.comm.UpdateFaultState(ctx.clock.now());
+      comm::FaultSignal sig;
+      if (ctx.comm.TakeFaultSignal(&sig)) {
+        const bool down = sig.kind != comm::FaultSignal::Kind::kRecovered;
+        state.trace().Record(
+            ctx.clock.now(),
+            down ? TraceEventKind::kSourceDown
+                 : TraceEventKind::kSourceRecovered,
+            -1,
+            "source " + std::to_string(sig.source) +
+                (sig.kind == comm::FaultSignal::Kind::kDead
+                     ? " declared dead"
+                     : (down ? " suspected down" : " recovered")));
+        Event evt{down ? EventKind::kSourceDown : EventKind::kSourceRecovered,
+                  -1};
+        evt.source = sig.source;
+        return evt;
+      }
+    }
+
     // Abnormal interruption: delivery rates drifted from the planning
     // snapshot; the scheduling plan may be stale.
     if (ctx.comm.RateChangedSincePlan(ctx.clock.now())) {
@@ -142,6 +172,13 @@ Result<Event> Dqp::RunPhase(ExecutionState& state, const SchedulingPlan& sp,
       if (frags[k] == nullptr) continue;
       next = std::min(next, frags[k]->NextArrival(ctx));
     }
+    // A silent (possibly failed) source never schedules an arrival, so the
+    // detector's thresholds bound the stall: the clock must reach them for
+    // suspicion/death to be declared. Same for the query deadline.
+    if (ctx.comm.failure_detection()) {
+      next = std::min(next, ctx.comm.NextFaultDeadline(ctx.clock.now()));
+    }
+    if (config_.deadline > 0) next = std::min(next, config_.deadline);
     if (next == kSimTimeNever) {
       // No arrival will ever come, yet nothing was finished above: the
       // plan cannot make progress — let the scheduler revise it.

@@ -36,6 +36,11 @@ struct DqpConfig {
   /// clock when no scheduled fragment has data — another query may have
   /// work.
   bool yield_on_starvation = false;
+  /// Absolute virtual-time budget for the whole query (0 = unlimited).
+  /// Crossing it raises kDeadlineExceeded; the strategy decides between
+  /// aborting and returning a partial result. Plumbed from
+  /// MediatorConfig::query_deadline.
+  SimTime deadline = 0;
 };
 
 /// The processor. Owns no state besides counters; fragments live in the

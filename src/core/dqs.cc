@@ -26,6 +26,19 @@ int TransitiveDependents(const plan::CompiledPlan& compiled, ChainId chain) {
   return count;
 }
 
+/// Some unfinished ancestor of `chain` reads a source the failure detector
+/// suspects: the chain's unblocking is delayed indefinitely, not just by
+/// the ancestor's normal drain time.
+bool BlockedOnSuspectedSource(const ExecutionState& state,
+                              const exec::ExecContext& ctx, ChainId chain) {
+  const plan::CompiledPlan& compiled = state.compiled();
+  for (ChainId a : compiled.Ancestors(chain)) {
+    if (state.ChainDone(a)) continue;
+    if (ctx.comm.SourceSuspected(compiled.chain(a).source)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 double Dqs::ChainCritical(const ExecutionState& state,
@@ -33,6 +46,11 @@ double Dqs::ChainCritical(const ExecutionState& state,
   const plan::ChainInfo& info = state.compiled().chain(chain);
   const int64_t n = ctx.comm.RemainingTuples(info.source);
   if (n <= 0) return 0.0;
+  // A suspected-down source's effective wait is unbounded: scheduling its
+  // chain early buys no overlap, so it loses critical priority entirely
+  // until the detector signals recovery (graceful degradation, §4.4
+  // applied to faults).
+  if (ctx.comm.SourceSuspected(info.source)) return 0.0;
   const double w = ctx.comm.EstimatedWaitNs(info.source);
   const double c = info.est_cpu_per_tuple_ns;
   return static_cast<double>(n) * (w - c);
@@ -77,7 +95,20 @@ Result<SchedulingPlan> Dqs::ComputePlan(ExecutionState& state,
     if (state.ChainDone(c) || state.Degraded(c) || state.CSchedulable(c)) {
       continue;
     }
-    if (!ctx.comm.EstimateWarm(compiled.chain(c).source)) continue;
+    const SourceId src = compiled.chain(c).source;
+    // Fault-driven degradation: a chain gated by a suspected-down source
+    // waits unboundedly, so materializing its own live stream pays off
+    // regardless of bmi — provided its own source is up and delivering.
+    // (SourceSuspected is constant-false without failure detection.)
+    if (ctx.comm.failure_detection() &&
+        BlockedOnSuspectedSource(state, ctx, c)) {
+      if (!ctx.comm.SourceSuspected(src) &&
+          ctx.comm.RemainingTuples(src) > 0) {
+        state.Degrade(c, ctx);
+      }
+      continue;
+    }
+    if (!ctx.comm.EstimateWarm(src)) continue;
     if (ChainCritical(state, ctx, c) > 0.0 &&
         Bmi(state, ctx, c) > config_.bmt) {
       state.Degrade(c, ctx);

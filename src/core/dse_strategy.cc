@@ -41,6 +41,33 @@ Result<ExecutionMetrics> RunDseImpl(ExecutionState& state,
         break;
       case EventKind::kPlanExhausted:
         break;  // replan
+      case EventKind::kSourceDown:
+        ++counters.source_down_events;
+        if (ctx.comm.SourceDead(evt->source)) {
+          if (!config.fault.partial_results) {
+            return Status::Unavailable("source " +
+                                       std::to_string(evt->source) +
+                                       " declared dead");
+          }
+          // Partial-result policy: give the stream up. Its chain drains
+          // what arrived and completes; downstream joins see a subset.
+          ctx.comm.AbandonSource(evt->source);
+          ++counters.sources_abandoned;
+          counters.partial_result = true;
+        }
+        // Mere suspicion: replan — the suspected chain has lost its
+        // critical priority and blocked chains may degrade to MFs.
+        break;
+      case EventKind::kSourceRecovered:
+        ++counters.source_recovered_events;
+        break;  // replan with the chain's priority restored
+      case EventKind::kDeadlineExceeded:
+        counters.deadline_hit = true;
+        if (!config.fault.partial_results) {
+          return Status::DeadlineExceeded("query deadline expired");
+        }
+        counters.partial_result = true;
+        return CollectMetrics(ctx, state, &dqs, dqp, dqo, counters);
       case EventKind::kSliceEnd:
       case EventKind::kStarved:
         return Status::Internal("multi-query event in single-query DSE");

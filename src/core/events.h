@@ -6,6 +6,8 @@
 #ifndef DQSCHED_CORE_EVENTS_H_
 #define DQSCHED_CORE_EVENTS_H_
 
+#include "common/ids.h"
+
 namespace dqsched::core {
 
 enum class EventKind {
@@ -32,6 +34,16 @@ enum class EventKind {
   /// DqpConfig::yield_on_starvation is set). The caller decides whether
   /// other work exists or the global clock must advance.
   kStarved,
+  /// The failure detector suspects (or declared) a source down (abnormal;
+  /// only raised with CommConfig::failure_detection). The strategy checks
+  /// CommManager::SourceDead to distinguish suspicion from declared death.
+  kSourceDown,
+  /// A suspected/dead source delivered again (abnormal; replanning
+  /// restores its chain's critical priority).
+  kSourceRecovered,
+  /// The query's virtual-time budget (DqpConfig::deadline) expired
+  /// (abnormal; the strategy aborts or returns a partial result).
+  kDeadlineExceeded,
 };
 
 const char* EventKindName(EventKind kind);
@@ -40,6 +52,8 @@ const char* EventKindName(EventKind kind);
 struct Event {
   EventKind kind = EventKind::kPlanExhausted;
   int fragment = -1;
+  /// Subject source for kSourceDown / kSourceRecovered (kInvalidId else).
+  SourceId source = kInvalidId;
 };
 
 }  // namespace dqsched::core

@@ -18,6 +18,12 @@ const char* EventKindName(EventKind kind) {
       return "SliceEnd";
     case EventKind::kStarved:
       return "Starved";
+    case EventKind::kSourceDown:
+      return "SourceDown";
+    case EventKind::kSourceRecovered:
+      return "SourceRecovered";
+    case EventKind::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

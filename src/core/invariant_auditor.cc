@@ -390,11 +390,15 @@ Status AuditExecutionState(const ExecutionState& state,
           std::to_string(wstats.tuples_delivered) + " tuples but its queue "
           "recorded " + std::to_string(queue.total_pushed()) + " pushes");
     }
-    if (queue.total_popped() != consumed) {
+    // Replayed duplicates are popped by the CM's dedup filter but never
+    // handed to a fragment, so conservation holds modulo the discards.
+    const int64_t discarded = ctx.comm.ReplayDiscarded(s);
+    if (queue.total_popped() != consumed + discarded) {
       return Status::Internal(
           "tuple conservation violated for source " + std::to_string(s) +
           ": queue popped " + std::to_string(queue.total_popped()) +
-          " tuples but fragments consumed " + std::to_string(consumed));
+          " tuples but fragments consumed " + std::to_string(consumed) +
+          " with " + std::to_string(discarded) + " replay discards");
     }
   }
 

@@ -52,6 +52,22 @@ Result<ExecutionMetrics> RunMaImpl(ExecutionState& state,
         return Status::Internal("materialization cannot overflow memory");
       case EventKind::kPlanExhausted:
         break;  // re-check the active set
+      case EventKind::kSourceDown:
+        // MA needs every relation fully on disk; a dead source is fatal,
+        // a suspected one may still recover.
+        ++counters.source_down_events;
+        if (ctx.comm.SourceDead(evt->source)) {
+          return Status::Unavailable("source " + std::to_string(evt->source) +
+                                     " declared dead during materialization");
+        }
+        break;
+      case EventKind::kSourceRecovered:
+        ++counters.source_recovered_events;
+        break;
+      case EventKind::kDeadlineExceeded:
+        counters.deadline_hit = true;
+        return Status::DeadlineExceeded(
+            "query deadline expired during materialization");
       case EventKind::kSliceEnd:
       case EventKind::kStarved:
         return Status::Internal("multi-query event in MA phase 1");

@@ -25,6 +25,9 @@ uint64_t SourceSeed(uint64_t base, SourceId source, uint64_t salt) {
 
 constexpr uint64_t kDataSalt = 0x9e3779b97f4a7c15ULL;
 constexpr uint64_t kDelaySalt = 0xc2b2ae3d27d4eb4fULL;
+// Fault models draw from their own salted stream: arming a fault schedule
+// must not shift a single data or delay draw.
+constexpr uint64_t kFaultSalt = 0xa0761d6478bd642fULL;
 
 /// Serializes everything the oracle's answer depends on: the data
 /// generator inputs (relation specs + seed) and the compiled chain
@@ -107,6 +110,18 @@ Result<Mediator> Mediator::Create(wrapper::Catalog catalog, plan::Plan plan,
   if (config.strategy.dqp.batch_size <= 0) {
     return Status::InvalidArgument("batch size must be > 0");
   }
+  if (config.query_deadline < 0) {
+    return Status::InvalidArgument("query deadline must be >= 0");
+  }
+  // Arm the failure detector exactly when a source can misbehave: with no
+  // schedule anywhere, every fault code path stays dormant and the run is
+  // bit-identical to a build without the fault layer.
+  for (const wrapper::SourceSpec& s : catalog.sources) {
+    if (!s.faults.empty()) {
+      config.comm.failure_detection = true;
+      break;
+    }
+  }
 
   Result<plan::CompiledPlan> compiled = plan::Compile(plan, catalog);
   if (!compiled.ok()) return compiled.status();
@@ -148,6 +163,10 @@ void Mediator::SetupContext(exec::ExecContext& ctx) const {
     auto w = std::make_unique<wrapper::SimWrapper>(
         s, &data_[static_cast<size_t>(s)], catalog_.source(s).delay,
         SourceSeed(config_.seed, s, kDelaySalt));
+    if (!catalog_.source(s).faults.empty()) {
+      w->SetFaultSchedule(catalog_.source(s).faults,
+                          SourceSeed(config_.seed, s, kFaultSalt));
+    }
     // The pre-observation prior a static optimizer would assume: delivery
     // at full speed (the paper's w_min).
     ctx.comm.AddSource(std::move(w),
@@ -177,10 +196,15 @@ Result<Mediator::TracedExecution> Mediator::ExecuteWithOptions(
   ExecutionOptions options = OptionsFor(kind);
   options.trace = trace;
   ExecutionState state(&compiled_, &ctx, options);
-  Result<ExecutionMetrics> metrics =
-      RunStrategy(kind, state, ctx, config_.strategy);
+  StrategyConfig strategy = config_.strategy;
+  if (config_.query_deadline > 0) {
+    strategy.dqp.deadline = config_.query_deadline;
+  }
+  Result<ExecutionMetrics> metrics = RunStrategy(kind, state, ctx, strategy);
   if (!metrics.ok()) return metrics.status();
-  DQS_RETURN_IF_ERROR(VerifyAgainstReference(*metrics, StrategyName(kind)));
+  if (!metrics->fault.partial_result) {
+    DQS_RETURN_IF_ERROR(VerifyAgainstReference(*metrics, StrategyName(kind)));
+  }
   TracedExecution out;
   out.metrics = std::move(metrics.value());
   out.trace = std::move(state.trace());
@@ -210,9 +234,12 @@ Result<ExecutionMetrics> Mediator::ExecuteScrambling(
   ScramblingConfig scr;
   scr.timeout = timeout;
   scr.batch_size = config_.strategy.dqp.batch_size;
+  scr.deadline = config_.query_deadline;
   Result<ExecutionMetrics> metrics = RunScrambling(state, ctx, scr);
   if (!metrics.ok()) return metrics;
-  DQS_RETURN_IF_ERROR(VerifyAgainstReference(*metrics, "SCR"));
+  if (!metrics->fault.partial_result) {
+    DQS_RETURN_IF_ERROR(VerifyAgainstReference(*metrics, "SCR"));
+  }
   return metrics;
 }
 

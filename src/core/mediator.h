@@ -37,7 +37,11 @@ struct MediatorConfig {
   /// Seed for data generation and delay draws; one seed = one workload.
   uint64_t seed = 42;
   /// Verify every execution's result against the reference executor.
+  /// (Partial results under FaultPolicy::partial_results are exempt.)
   bool verify_results = true;
+  /// Virtual-time budget for each execution (0 = unlimited). Expiry
+  /// raises kDeadlineExceeded, resolved per StrategyConfig::fault.
+  SimDuration query_deadline = 0;
 };
 
 /// An integration query ready to execute.

@@ -31,7 +31,27 @@ std::string ExecutionMetrics::ToString() const {
       static_cast<long long>(disk.pages_read),
       static_cast<long long>(disk.positionings),
       static_cast<long long>(network.messages_received));
-  return buf;
+  std::string out = buf;
+  if (fault.any()) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "\nfaults: %lld stalls, %lld disconnects (%lld reconnects), "
+        "%lld killed | detector: %lld suspected, %lld dead, %lld recovered, "
+        "%lld replays discarded | %lld abandoned%s%s",
+        static_cast<long long>(fault.stalls_injected),
+        static_cast<long long>(fault.disconnects_injected),
+        static_cast<long long>(fault.reconnects),
+        static_cast<long long>(fault.sources_killed),
+        static_cast<long long>(fault.sources_suspected),
+        static_cast<long long>(fault.sources_dead),
+        static_cast<long long>(fault.recoveries),
+        static_cast<long long>(fault.replays_discarded),
+        static_cast<long long>(fault.sources_abandoned),
+        fault.partial_result ? ", PARTIAL RESULT" : "",
+        fault.deadline_hit ? ", DEADLINE HIT" : "");
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace dqsched::core

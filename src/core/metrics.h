@@ -13,6 +13,40 @@
 
 namespace dqsched::core {
 
+/// Fault-layer activity of one execution: what was injected into the
+/// wrappers, what the CM's failure detector concluded, and how the
+/// strategy resolved it. All-zero (any() == false) for fault-free runs.
+struct FaultStats {
+  // Injection side (from the wrappers' fault models).
+  int64_t stalls_injected = 0;
+  int64_t disconnects_injected = 0;
+  int64_t reconnects = 0;
+  int64_t sources_killed = 0;  // wrappers hit by a kDeath fault
+
+  // Detection side (from the CM).
+  int64_t sources_suspected = 0;  // healthy->suspected transitions
+  int64_t sources_dead = 0;       // suspected->dead declarations
+  int64_t recoveries = 0;         // suspected/dead->healthy transitions
+  int64_t replays_discarded = 0;  // duplicate tuples dropped on pop
+
+  // Resolution side (from the strategy).
+  int64_t source_down_events = 0;
+  int64_t source_recovered_events = 0;
+  int64_t sources_abandoned = 0;
+  /// The result was produced without every source's full stream.
+  bool partial_result = false;
+  /// The run ended because the query deadline expired.
+  bool deadline_hit = false;
+
+  bool any() const {
+    return stalls_injected != 0 || disconnects_injected != 0 ||
+           reconnects != 0 || sources_killed != 0 || sources_suspected != 0 ||
+           sources_dead != 0 || recoveries != 0 || replays_discarded != 0 ||
+           source_down_events != 0 || source_recovered_events != 0 ||
+           sources_abandoned != 0 || partial_result || deadline_hit;
+  }
+};
+
 /// Everything measured during one execution. Response time is virtual
 /// (simulated) time from query start to the last result tuple.
 struct ExecutionMetrics {
@@ -40,6 +74,7 @@ struct ExecutionMetrics {
   sim::DiskStats disk;
   sim::NetworkStats network;
   storage::TempStoreStats temps;
+  FaultStats fault;
 
   /// Host (wall-clock) seconds spent inside the DQS planning — the
   /// scheduling overhead the paper argues must be small (Section 3.3).

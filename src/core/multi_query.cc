@@ -260,6 +260,19 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
             *run.state, ctx, run.state->FragmentChain(evt->fragment)));
         run.need_replan = true;
         break;
+      case EventKind::kSourceDown:
+        if (ctx.comm.SourceDead(evt->source)) {
+          return Status::Unavailable("source " + std::to_string(evt->source) +
+                                     " declared dead in multi-query mix");
+        }
+        run.need_replan = true;
+        break;
+      case EventKind::kSourceRecovered:
+        run.need_replan = true;
+        break;
+      case EventKind::kDeadlineExceeded:
+        return Status::DeadlineExceeded(
+            "query deadline expired in multi-query mix");
       case EventKind::kSliceEnd:
         break;  // keep the plan, yield the CPU
       case EventKind::kStarved: {

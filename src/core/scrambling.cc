@@ -19,6 +19,7 @@ Result<ExecutionMetrics> RunScrambling(ExecutionState& state,
   DqpConfig dqp_config;
   dqp_config.batch_size = config.batch_size;
   dqp_config.stall_timeout = config.timeout;
+  dqp_config.deadline = config.deadline;
   Dqp dqp(dqp_config);
   Dqo dqo;
   internal::StrategyCounters counters;
@@ -109,6 +110,22 @@ Result<ExecutionMetrics> RunScrambling(ExecutionState& state,
         break;
       case EventKind::kPlanExhausted:
         break;  // rebuild the plan (scrambled set may have gone stale)
+      case EventKind::kSourceDown:
+        // Scrambling reacts to silence through its timeout machinery; the
+        // detector's verdict only matters when it is terminal.
+        ++counters.source_down_events;
+        if (ctx.comm.SourceDead(evt->source)) {
+          return Status::Unavailable("source " + std::to_string(evt->source) +
+                                     " declared dead under scrambling");
+        }
+        break;
+      case EventKind::kSourceRecovered:
+        ++counters.source_recovered_events;
+        break;
+      case EventKind::kDeadlineExceeded:
+        counters.deadline_hit = true;
+        return Status::DeadlineExceeded(
+            "query deadline expired under scrambling");
       case EventKind::kSliceEnd:
       case EventKind::kStarved:
         return Status::Internal("multi-query event in scrambling");

@@ -36,6 +36,9 @@ struct ScramblingConfig {
   SimDuration timeout = Milliseconds(100);
   /// Batch size of the processor (as elsewhere).
   int64_t batch_size = 128;
+  /// Absolute virtual-time budget for the query (0 = unlimited); raises
+  /// kDeadlineExceeded like the other strategies.
+  SimTime deadline = 0;
 };
 
 /// Runs the query with scrambling phase 1 over freshly constructed state.

@@ -67,6 +67,24 @@ ExecutionMetrics CollectMetrics(const exec::ExecContext& ctx,
   m.disk = ctx.disk.stats();
   m.network = ctx.net.stats();
   m.temps = ctx.temps.stats();
+  // Fault layer: all-zero unless a fault schedule / failure detection ran.
+  m.fault.sources_suspected = ctx.comm.fault_suspicions();
+  m.fault.sources_dead = ctx.comm.fault_declared_dead();
+  m.fault.recoveries = ctx.comm.fault_recoveries();
+  m.fault.replays_discarded = ctx.comm.replay_discarded_total();
+  m.fault.source_down_events = counters.source_down_events;
+  m.fault.source_recovered_events = counters.source_recovered_events;
+  m.fault.sources_abandoned = counters.sources_abandoned;
+  m.fault.partial_result = counters.partial_result;
+  m.fault.deadline_hit = counters.deadline_hit;
+  for (SourceId s = 0; s < ctx.comm.num_sources(); ++s) {
+    const wrapper::FaultInjectionStats* fs = ctx.comm.wrapper(s).fault_stats();
+    if (fs == nullptr) continue;
+    m.fault.stalls_injected += fs->stalls;
+    m.fault.disconnects_injected += fs->disconnects;
+    m.fault.reconnects += fs->reconnects;
+    if (fs->died) ++m.fault.sources_killed;
+  }
   return m;
 }
 
@@ -100,6 +118,23 @@ Status DriveChain(ChainId chain, ExecutionState& state,
       case EventKind::kPlanExhausted:
         return Status::Internal("chain " + std::to_string(chain) +
                                 " cannot make progress");
+      case EventKind::kSourceDown:
+        // Sequential execution has no useful partial answer: a declared
+        // death aborts the run; mere suspicion keeps waiting (the stream
+        // may recover, and the detector will escalate if not).
+        ++counters->source_down_events;
+        if (ctx.comm.SourceDead(evt->source)) {
+          return Status::Unavailable("source " + std::to_string(evt->source) +
+                                     " declared dead");
+        }
+        break;
+      case EventKind::kSourceRecovered:
+        ++counters->source_recovered_events;
+        break;
+      case EventKind::kDeadlineExceeded:
+        counters->deadline_hit = true;
+        return Status::DeadlineExceeded("query deadline expired on chain " +
+                                        std::to_string(chain));
       case EventKind::kSliceEnd:
       case EventKind::kStarved:
         return Status::Internal("multi-query event in DriveChain");

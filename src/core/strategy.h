@@ -28,10 +28,24 @@ enum class StrategyKind { kSeq, kDse, kMa };
 
 const char* StrategyName(StrategyKind kind);
 
+/// How a strategy resolves unrecoverable faults (declared-dead sources,
+/// query-deadline expiry). See DESIGN.md §8.
+struct FaultPolicy {
+  /// DSE only: degrade gracefully instead of failing. A declared-dead
+  /// source is abandoned (its chain completes from what arrived) rather
+  /// than aborting with kUnavailable; a deadline expiry returns the
+  /// metrics accumulated so far rather than kDeadlineExceeded. Either way
+  /// the result is flagged FaultStats::partial_result and skips reference
+  /// verification. SEQ and MA are strict regardless: their all-or-nothing
+  /// structure has no useful partial answer.
+  bool partial_results = false;
+};
+
 /// Shared strategy tunables.
 struct StrategyConfig {
   DqsConfig dqs;
   DqpConfig dqp;
+  FaultPolicy fault;
 };
 
 /// Runs one strategy to completion over freshly constructed state.

@@ -18,6 +18,11 @@ namespace dqsched::core::internal {
 struct StrategyCounters {
   int64_t timeouts = 0;
   int64_t rate_changes = 0;
+  int64_t source_down_events = 0;
+  int64_t source_recovered_events = 0;
+  int64_t sources_abandoned = 0;
+  bool partial_result = false;
+  bool deadline_hit = false;
 };
 
 /// Assembles the metrics of a finished run.

@@ -26,6 +26,12 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "timeout";
     case TraceEventKind::kMemoryOverflow:
       return "mem-overflow";
+    case TraceEventKind::kSourceDown:
+      return "source-down";
+    case TraceEventKind::kSourceRecovered:
+      return "source-recovered";
+    case TraceEventKind::kDeadline:
+      return "deadline";
     case TraceEventKind::kQueryDone:
       return "query-done";
   }

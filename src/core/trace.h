@@ -30,6 +30,9 @@ enum class TraceEventKind {
   kRateChange,     // delivery-rate estimates drifted; replanning
   kTimeout,        // every scheduled fragment starved past the budget
   kMemoryOverflow, // a fragment failed to open in the budget
+  kSourceDown,     // the failure detector suspects/declared a source down
+  kSourceRecovered,// a suspected source delivered again
+  kDeadline,       // the query's virtual-time budget expired
   kQueryDone,
 };
 

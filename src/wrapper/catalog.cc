@@ -31,6 +31,11 @@ Status Catalog::Validate() const {
     }
     Status delay = s.delay.Validate();
     if (!delay.ok()) return delay;
+    Status faults = s.faults.Validate();
+    if (!faults.ok()) {
+      return Status::InvalidArgument("source " + s.relation.name + ": " +
+                                     faults.message());
+    }
     for (size_t j = 0; j < i; ++j) {
       if (sources[j].relation.name == s.relation.name) {
         return Status::InvalidArgument("duplicate source name " +

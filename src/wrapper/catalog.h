@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "storage/relation.h"
 #include "wrapper/delay_model.h"
+#include "wrapper/fault_model.h"
 
 namespace dqsched::wrapper {
 
@@ -20,6 +21,9 @@ namespace dqsched::wrapper {
 struct SourceSpec {
   storage::RelationSpec relation;
   DelayConfig delay;
+  /// Scheduled misbehaviour (empty = a perfectly reliable source). Any
+  /// non-empty schedule makes the mediator arm failure detection.
+  FaultSchedule faults;
 };
 
 /// All sources of an integration query.

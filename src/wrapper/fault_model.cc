@@ -1,0 +1,110 @@
+#include "wrapper/fault_model.h"
+
+#include <utility>
+
+namespace dqsched::wrapper {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kDisconnect:
+      return "disconnect";
+    case FaultKind::kDeath:
+      return "death";
+  }
+  return "unknown";
+}
+
+Status FaultSpec::Validate() const {
+  if (at_tuple < 0) {
+    return Status::InvalidArgument("fault at_tuple must be >= 0");
+  }
+  switch (kind) {
+    case FaultKind::kStall:
+      if (stall <= 0) {
+        return Status::InvalidArgument("fault stall duration must be > 0");
+      }
+      break;
+    case FaultKind::kDisconnect:
+      if (failed_attempts < 0) {
+        return Status::InvalidArgument("fault failed_attempts must be >= 0");
+      }
+      if (failed_attempts > 32) {
+        return Status::InvalidArgument(
+            "fault failed_attempts > 32 overflows the exponential backoff");
+      }
+      if (backoff_initial <= 0) {
+        return Status::InvalidArgument("fault backoff_initial must be > 0");
+      }
+      if (backoff_jitter < 0.0 || backoff_jitter >= 1.0) {
+        return Status::InvalidArgument("fault backoff_jitter must be in [0, 1)");
+      }
+      break;
+    case FaultKind::kDeath:
+      break;
+  }
+  return Status::Ok();
+}
+
+Status FaultSchedule::Validate() const {
+  int64_t prev = -1;
+  for (size_t i = 0; i < events.size(); ++i) {
+    DQS_RETURN_IF_ERROR(events[i].Validate());
+    if (events[i].at_tuple <= prev) {
+      return Status::InvalidArgument(
+          "fault events must have strictly increasing at_tuple");
+    }
+    if (i + 1 < events.size() && events[i].kind == FaultKind::kDeath) {
+      return Status::InvalidArgument(
+          "no fault event can follow a death event");
+    }
+    prev = events[i].at_tuple;
+  }
+  return Status::Ok();
+}
+
+FaultModel::FaultModel(FaultSchedule schedule, uint64_t seed)
+    : schedule_(std::move(schedule)), rng_(seed) {}
+
+FaultAction FaultModel::OnProduce(int64_t index) {
+  FaultAction action;
+  if (cursor_ >= schedule_.events.size()) return action;
+  const FaultSpec& e = schedule_.events[cursor_];
+  if (index < e.at_tuple) return action;
+  ++cursor_;
+  switch (e.kind) {
+    case FaultKind::kStall:
+      action.extra_silence = e.stall;
+      ++stats_.stalls;
+      break;
+    case FaultKind::kDisconnect: {
+      // The outage is the sum of the waits before each reconnect attempt:
+      // failed_attempts failures plus the attempt that succeeds, each
+      // doubling the previous backoff and jittered deterministically.
+      SimDuration outage = 0;
+      SimDuration backoff = e.backoff_initial;
+      for (int64_t a = 0; a <= e.failed_attempts; ++a) {
+        const double scale =
+            1.0 + e.backoff_jitter * (2.0 * rng_.NextDouble() - 1.0);
+        outage += static_cast<SimDuration>(
+            static_cast<double>(backoff) * scale);
+        backoff *= 2;
+      }
+      action.extra_silence = outage;
+      action.replay_from_scratch = e.replay_from_scratch;
+      ++stats_.disconnects;
+      ++stats_.reconnects;
+      if (e.replay_from_scratch) stats_.duplicates_scheduled += index;
+      break;
+    }
+    case FaultKind::kDeath:
+      action.die = true;
+      stats_.died = true;
+      break;
+  }
+  stats_.silence += action.extra_silence;
+  return action;
+}
+
+}  // namespace dqsched::wrapper

@@ -1,0 +1,121 @@
+// Deterministic, seeded source-fault injection. A FaultSchedule describes
+// when a source misbehaves (in tuple-index space, so it composes with any
+// delay model); FaultModel interprets the schedule with its own Rng stream,
+// independent from the delay draws, so a run with an empty schedule is
+// bit-identical to one without the subsystem at all.
+//
+// Fault taxonomy (DESIGN.md §8):
+//   stall       transient silence; delivery resumes where it left off.
+//   disconnect  the connection drops at a tuple; the wrapper reconnects
+//               after exponential backoff with deterministic jitter and
+//               either resumes from the disconnect offset or replays the
+//               relation from scratch (the CM discards the duplicates).
+//   death       permanent: the source never delivers again.
+
+#ifndef DQSCHED_WRAPPER_FAULT_MODEL_H_
+#define DQSCHED_WRAPPER_FAULT_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+
+namespace dqsched::wrapper {
+
+enum class FaultKind {
+  kStall,
+  kDisconnect,
+  kDeath,
+};
+
+/// Short stable name ("stall", "disconnect", "death").
+const char* FaultKindName(FaultKind kind);
+
+/// One scheduled fault. Value type; lives in the catalog's SourceSpec.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kStall;
+  /// Fires when the source is about to produce this fresh tuple index
+  /// (0 = before the first tuple). An index at or past the relation's
+  /// cardinality never fires.
+  int64_t at_tuple = 0;
+  /// kStall: duration of the silence.
+  SimDuration stall = Milliseconds(200);
+  /// kDisconnect: reconnect attempts that fail before the one that
+  /// succeeds (0 = first attempt reconnects).
+  int64_t failed_attempts = 1;
+  /// kDisconnect: wait before attempt k is backoff_initial * 2^k ...
+  SimDuration backoff_initial = Milliseconds(20);
+  /// ... scaled by a jitter factor drawn uniformly from [1-j, 1+j].
+  double backoff_jitter = 0.25;
+  /// kDisconnect: on reconnect the source restarts its cursor from tuple
+  /// 0, re-delivering everything already sent (the CM discards those
+  /// duplicates); false resumes from the disconnect offset.
+  bool replay_from_scratch = false;
+
+  /// Checks the per-kind parameters.
+  Status Validate() const;
+};
+
+/// A source's fault schedule. Events must be strictly increasing in
+/// at_tuple; after a kDeath event nothing further can fire.
+struct FaultSchedule {
+  std::vector<FaultSpec> events;
+
+  bool empty() const { return events.empty(); }
+  Status Validate() const;
+};
+
+/// Positions [begin, end) of a source's delivery sequence occupied by
+/// replayed duplicates. Positions count delivered tuples, which equals the
+/// queue's absolute pushed counter (a conservation invariant), so the CM
+/// can discard exactly these positions on pop.
+struct ReplayWindow {
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+/// Raw injection counts, wrapper-side. The detection-side view (suspected
+/// / declared dead / discarded) lives in the CM and ExecutionMetrics.
+struct FaultInjectionStats {
+  int64_t stalls = 0;
+  int64_t disconnects = 0;
+  int64_t reconnects = 0;
+  bool died = false;
+  /// Total injected silence (stalls plus reconnect backoffs).
+  SimDuration silence = 0;
+  /// Duplicate tuples scheduled for re-delivery by from-scratch replays.
+  int64_t duplicates_scheduled = 0;
+};
+
+/// What the wrapper applies before producing a tuple.
+struct FaultAction {
+  SimDuration extra_silence = 0;
+  bool die = false;
+  bool replay_from_scratch = false;
+};
+
+/// Interprets a FaultSchedule deterministically: (schedule, seed) fully
+/// determine every action, independent of pump timing.
+class FaultModel {
+ public:
+  FaultModel(FaultSchedule schedule, uint64_t seed);
+
+  /// The wrapper is about to produce fresh tuple `index`; returns the
+  /// scheduled action if the next pending event fires at or before it.
+  /// Must be called with strictly increasing fresh indices.
+  FaultAction OnProduce(int64_t index);
+
+  const FaultInjectionStats& stats() const { return stats_; }
+
+ private:
+  FaultSchedule schedule_;
+  Rng rng_;
+  size_t cursor_ = 0;
+  FaultInjectionStats stats_;
+};
+
+}  // namespace dqsched::wrapper
+
+#endif  // DQSCHED_WRAPPER_FAULT_MODEL_H_

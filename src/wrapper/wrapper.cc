@@ -1,5 +1,8 @@
 #include "wrapper/wrapper.h"
 
+#include <memory>
+#include <utility>
+
 #include "common/macros.h"
 
 namespace dqsched::wrapper {
@@ -16,8 +19,47 @@ SimWrapper::SimWrapper(SourceId id, const storage::Relation* relation,
   }
 }
 
+void SimWrapper::SetFaultSchedule(FaultSchedule schedule, uint64_t seed) {
+  DQS_CHECK_MSG(next_index_ == 0 && stats_.tuples_delivered == 0,
+                "fault schedule installed after pumping started");
+  if (schedule.empty()) return;
+  fault_ = std::make_unique<FaultModel>(std::move(schedule), seed);
+  // Consult for tuple 0 now: an event at at_tuple 0 delays (or kills) the
+  // source before its first delivery.
+  if (!Exhausted()) ApplyFaults(/*pending_in_run=*/0);
+}
+
+void SimWrapper::ApplyFaults(int64_t pending_in_run) {
+  if (fault_ == nullptr || dead_) return;
+  if (next_index_ >= cardinality()) return;
+  // Replayed duplicates and already-consulted indices see no new events.
+  if (next_index_ < replay_until_ || next_index_ < fault_applied_upto_) {
+    return;
+  }
+  const FaultAction action = fault_->OnProduce(next_index_);
+  fault_applied_upto_ = next_index_ + 1;
+  if (action.die) {
+    dead_ = true;
+    return;
+  }
+  next_ready_ += action.extra_silence;
+  if (action.replay_from_scratch && next_index_ > 0) {
+    // The reconnected source restarts its cursor: indices [0, next_index_)
+    // are re-delivered as duplicates. They occupy the delivery positions
+    // right after everything delivered so far — including the current
+    // uncommitted run — which the CM will discard. The already-drawn
+    // arrival offset of the disconnected tuple carries over to replayed
+    // tuple 0; later replays re-draw from the delay model.
+    const int64_t base = stats_.tuples_delivered + pending_in_run;
+    replay_windows_.push_back(ReplayWindow{base, base + next_index_});
+    replay_until_ = next_index_;
+    next_index_ = 0;
+  }
+}
+
 void SimWrapper::PumpInto(comm::TupleQueue& queue, SimTime now,
                           ArrivalObserver* observer) {
+  if (dead_) return;  // a dead source neither delivers nor ends its stream
   if (Exhausted()) {
     // Covers empty relations, where the stream closes without any push.
     if (!queue.producer_closed()) queue.CloseProducer();
@@ -33,7 +75,7 @@ void SimWrapper::PumpInto(comm::TupleQueue& queue, SimTime now,
     suspended_ = false;
     resumed = true;
   }
-  while (next_index_ < cardinality() && next_ready_ <= now) {
+  while (!dead_ && next_index_ < cardinality() && next_ready_ <= now) {
     if (queue.Full()) {
       suspended_ = true;
       return;
@@ -41,7 +83,9 @@ void SimWrapper::PumpInto(comm::TupleQueue& queue, SimTime now,
     // Collect the longest run of tuples ready <= now that fits in the
     // queue, drawing each delay exactly as per-tuple delivery would, then
     // move the run as one contiguous span (the relation's tuple array is
-    // the source) with a single observer notification.
+    // the source) with a single observer notification. A fault that kills
+    // the source or rewinds its cursor (from-scratch replay) breaks the
+    // run: the contiguity condition below ends it.
     int64_t space = queue.SpaceLeft();
     if (space > max_run_) space = max_run_;
     const int64_t start = next_index_;
@@ -52,7 +96,10 @@ void SimWrapper::PumpInto(comm::TupleQueue& queue, SimTime now,
       if (next_index_ < cardinality()) {
         next_ready_ += model_->NextDelay(next_index_, rng_);
       }
-    } while (next_index_ < cardinality() && next_ready_ <= now &&
+      ApplyFaults(static_cast<int64_t>(ts_scratch_.size()));
+    } while (!dead_ && next_index_ < cardinality() && next_ready_ <= now &&
+             next_index_ ==
+                 start + static_cast<int64_t>(ts_scratch_.size()) &&
              static_cast<int64_t>(ts_scratch_.size()) < space);
     const int64_t run = static_cast<int64_t>(ts_scratch_.size());
     queue.PushBatch(&relation_->tuples[static_cast<size_t>(start)], run);
@@ -76,7 +123,7 @@ void SimWrapper::PumpInto(comm::TupleQueue& queue, SimTime now,
 }
 
 SimTime SimWrapper::NextArrival() const {
-  if (Exhausted() || suspended_) return kSimTimeNever;
+  if (dead_ || Exhausted() || suspended_) return kSimTimeNever;
   return next_ready_;
 }
 

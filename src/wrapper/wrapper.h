@@ -19,6 +19,7 @@
 #include "common/sim_time.h"
 #include "storage/relation.h"
 #include "wrapper/delay_model.h"
+#include "wrapper/fault_model.h"
 
 namespace dqsched::wrapper {
 
@@ -43,8 +44,10 @@ struct WrapperStats {
   int64_t tuples_delivered = 0;
   /// Virtual time production spent suspended on a full queue.
   SimDuration blocked = 0;
-  /// When the last tuple entered the queue.
-  SimTime finished_at = 0;
+  /// When the last tuple entered the queue; kSimTimeNever until the first
+  /// delivery, so a source that never finishes is distinguishable from one
+  /// that finished at t=0.
+  SimTime finished_at = kSimTimeNever;
 };
 
 /// One simulated source feeding one TupleQueue.
@@ -90,6 +93,29 @@ class SimWrapper {
   /// definition).
   SimTime NextArrival() const;
 
+  /// Installs a fault schedule; must precede any pumping. `seed` feeds the
+  /// model's own Rng stream, so the delay draws are bit-identical with and
+  /// without faults. An event at tuple 0 takes effect immediately.
+  void SetFaultSchedule(FaultSchedule schedule, uint64_t seed);
+
+  bool has_faults() const { return fault_ != nullptr; }
+  /// Permanently silent: killed by a kDeath fault or abandoned by the CM.
+  bool dead() const { return dead_; }
+  /// Consumer-side giveup: the source never delivers again. Unlike a
+  /// kDeath fault this can hit any wrapper (the CM abandons declared-dead
+  /// sources under the partial-result policy).
+  void Abandon() { dead_ = true; }
+  /// Injection counters; null without a schedule.
+  const FaultInjectionStats* fault_stats() const {
+    return fault_ == nullptr ? nullptr : &fault_->stats();
+  }
+  /// From-scratch replay windows in delivered-tuple positions (== the
+  /// queue's absolute push positions), appended as reconnects happen. The
+  /// CM ingests these to discard duplicates.
+  const std::vector<ReplayWindow>& replay_windows() const {
+    return replay_windows_;
+  }
+
   /// Analytic mean inter-tuple delay of this source (scheduler prior).
   double MeanDelayNs() const { return model_->MeanDelayNs(); }
   /// Analytic expected total delivery time for the full relation.
@@ -102,6 +128,13 @@ class SimWrapper {
  private:
   static constexpr int64_t kNoRunCap = INT64_MAX;
 
+  /// Consults the fault model for the fresh tuple `next_index_` is about
+  /// to name, applying silence / replay / death. No-op during a replay or
+  /// for an index already consulted. `pending_in_run` is the size of the
+  /// collected-but-not-yet-pushed run, needed to place replay windows in
+  /// absolute delivery positions.
+  void ApplyFaults(int64_t pending_in_run);
+
   SourceId id_;
   const storage::Relation* relation_;
   std::unique_ptr<DelayModel> model_;
@@ -113,6 +146,17 @@ class SimWrapper {
   /// Arrival timestamps of the run being delivered (reused across pumps).
   std::vector<SimTime> ts_scratch_;
   WrapperStats stats_;
+
+  // Fault-injection state (inert — and cost-free on the pump path —
+  // without a schedule).
+  std::unique_ptr<FaultModel> fault_;
+  bool dead_ = false;
+  /// During a from-scratch replay, indices < replay_until_ are duplicates:
+  /// no fault consultation until the cursor passes the disconnect point.
+  int64_t replay_until_ = 0;
+  /// Faults consulted for all fresh indices < fault_applied_upto_.
+  int64_t fault_applied_upto_ = 0;
+  std::vector<ReplayWindow> replay_windows_;
 };
 
 }  // namespace dqsched::wrapper

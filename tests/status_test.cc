@@ -20,6 +20,9 @@ TEST(Status, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(Status::FailedPrecondition("x").code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::InvalidArgument("bad arg").message(), "bad arg");
 }
 
@@ -32,6 +35,16 @@ TEST(Status, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
                "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(Status, FaultCodesRoundTripThroughToString) {
+  EXPECT_EQ(Status::Unavailable("source 2 dead").ToString(),
+            "Unavailable: source 2 dead");
+  EXPECT_EQ(Status::DeadlineExceeded("budget spent").ToString(),
+            "DeadlineExceeded: budget spent");
 }
 
 TEST(Result, HoldsValue) {

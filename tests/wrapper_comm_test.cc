@@ -270,7 +270,7 @@ TEST(SimWrapper, SerialDeliveryMatchesBulk) {
     std::vector<SimTime> suppressed;
     int64_t delivered = 0;
     SimDuration blocked = 0;
-    SimTime finished_at = 0;
+    SimTime finished_at = kSimTimeNever;
   };
   auto run = [&rel](bool serial) {
     SimWrapper w(0, &rel, ConstantDelay(10.0), 1);
@@ -410,6 +410,114 @@ TEST_F(CommManagerTest, RateChangeDetection) {
     manager_.Pop(0, t, out, 16);
   }
   EXPECT_FALSE(manager_.RateChangedSincePlan(t));
+}
+
+DelayConfig InitialThenFast(double initial_ms, double mean_us) {
+  DelayConfig d;
+  d.kind = DelayKind::kInitial;
+  d.initial_delay_ms = initial_ms;
+  d.mean_us = mean_us;
+  return d;
+}
+
+TEST(CommManagerRateChange, CooldownBoundaryIsNotSuppressed) {
+  // now - last_signal_ == cooldown must NOT be suppressed: the gate is
+  // strictly "elapsed < cooldown", so the boundary instant re-arms.
+  CommConfig config;
+  config.queue_capacity = 4096;
+  config.rate_change_min_samples = 8;
+  config.rate_change_cooldown = Milliseconds(10);
+  CommManager manager(config);
+  const Relation rel = MakeRelation(3000);
+  // The 100 ms initial gap dominates the warm EWMA; the fast tail then
+  // drags the live estimate far below the snapshot.
+  auto w =
+      std::make_unique<SimWrapper>(0, &rel, InitialThenFast(100.0, 10.0), 1);
+  manager.AddSource(std::move(w), /*prior=*/10000.0);
+  Tuple out[64];
+  SimTime t = Milliseconds(100);
+  while (!manager.EstimateWarm(0)) {
+    t += Microseconds(100);
+    manager.Pop(0, t, out, 64);
+  }
+  manager.MarkPlanned(t);
+  const double ref = manager.EstimatedWaitNs(0);
+  for (int i = 0; i < 40; ++i) {
+    t += Microseconds(100);
+    manager.Pop(0, t, out, 64);
+  }
+  ASSERT_LT(manager.EstimatedWaitNs(0), ref / config.rate_change_ratio);
+  EXPECT_TRUE(manager.RateChangedSincePlan(t));  // ratio path fires
+  const SimTime signal = t;
+  // Fresh deliveries keep the deviation live through the cooldown window.
+  t += Microseconds(100);
+  manager.Pop(0, t, out, 64);
+  EXPECT_FALSE(manager.RateChangedSincePlan(
+      signal + config.rate_change_cooldown - 1));
+  EXPECT_TRUE(
+      manager.RateChangedSincePlan(signal + config.rate_change_cooldown));
+}
+
+TEST(CommManagerRateChange, WarmupPromotionBypassesCooldown) {
+  // A source planned on its prior that has since warmed up must signal
+  // immediately even inside another signal's cooldown window.
+  CommConfig config;
+  config.queue_capacity = 4096;
+  config.rate_change_min_samples = 8;
+  config.rate_change_cooldown = Seconds(1);
+  CommManager manager(config);
+  const Relation rel_a = MakeRelation(200, 0);
+  const Relation rel_b = MakeRelation(200, 1);
+  manager.AddSource(
+      std::make_unique<SimWrapper>(0, &rel_a, ConstantDelay(10.0), 1),
+      /*prior=*/10000.0);
+  manager.AddSource(
+      std::make_unique<SimWrapper>(1, &rel_b, ConstantDelay(500.0), 2),
+      /*prior=*/500000.0);
+  manager.MarkPlanned(0);  // both snapshots un-warm
+  Tuple out[64];
+  SimTime t = Microseconds(10 * 20);
+  manager.Pop(0, t, out, 64);
+  EXPECT_TRUE(manager.RateChangedSincePlan(t));  // source 0 warmed up
+  manager.MarkPlanned(t);  // replan on the signal; source 1 still un-warm
+  // Source 1 warms ~8 ms in, far inside the 1 s cooldown of the signal
+  // above — the promotion fires regardless.
+  t = Microseconds(500 * 20);
+  manager.Pop(1, t, out, 64);
+  ASSERT_TRUE(manager.EstimateWarm(1));
+  EXPECT_TRUE(manager.RateChangedSincePlan(t));
+  EXPECT_EQ(manager.rate_change_signals(), 2);
+}
+
+TEST(CommManagerRateChange, MemoizedFalseInvalidatedByNewDeliveries) {
+  // A fully evaluated false verdict is memoized; new deliveries bump the
+  // estimator version and force re-evaluation.
+  CommConfig config;
+  config.queue_capacity = 4096;
+  config.rate_change_min_samples = 8;
+  config.rate_change_cooldown = 0;
+  CommManager manager(config);
+  const Relation rel = MakeRelation(3000);
+  manager.AddSource(
+      std::make_unique<SimWrapper>(0, &rel, InitialThenFast(100.0, 10.0), 1),
+      /*prior=*/10000.0);
+  Tuple out[64];
+  SimTime t = Milliseconds(100);
+  while (!manager.EstimateWarm(0)) {
+    t += Microseconds(100);
+    manager.Pop(0, t, out, 64);
+  }
+  manager.MarkPlanned(t);
+  // No samples since the snapshot: full evaluation, false, memoized.
+  EXPECT_FALSE(manager.RateChangedSincePlan(t));
+  EXPECT_FALSE(manager.RateChangedSincePlan(t + Microseconds(1)));
+  // The fast tail collapses the estimate well below snapshot / ratio.
+  for (int i = 0; i < 40; ++i) {
+    t += Microseconds(100);
+    manager.Pop(0, t, out, 64);
+  }
+  EXPECT_TRUE(manager.RateChangedSincePlan(t));
+  EXPECT_EQ(manager.rate_change_signals(), 1);
 }
 
 TEST(CommManagerRateChange, FiresOnGenuineSlowdown) {

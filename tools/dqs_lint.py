@@ -13,6 +13,9 @@ Checks, over src/**:
   using-std      `using namespace std` at any scope
   queue-push     per-tuple TupleQueue::Push outside src/comm — the data
                  plane moves tuples with span PushBatch/PopBatch only
+  timeout-type   header fields named like durations (timeout/deadline/
+                 cooldown/silence/backoff/stall) declared as naked integers
+                 instead of SimDuration (plural event counters are exempt)
 
 Exits 0 when clean; prints findings as `path:line: [rule] message` and
 exits 1 otherwise.
@@ -198,6 +201,36 @@ def check_queue_push(path, rel, text):
             )
 
 
+DURATION_FIELD = re.compile(
+    r"\b(?:u?int(?:8|16|32|64)_t|int|long(?:\s+long)?|unsigned|size_t)\s+"
+    r"(\w*(?:timeout|deadline|cooldown|silence|backoff|stall)\w*)\s*"
+    r"(?:=[^;]*)?;"
+)
+
+
+def check_timeout_type(path, text):
+    """A timeout/deadline knob typed `int64_t` is a naked tick count whose
+    unit the reader must guess; declare it SimDuration (sim_time.h) so the
+    Milliseconds()/Seconds() constructors document the unit at every use.
+    Plural names (`timeouts`) are event counters, not durations — exempt."""
+    for i, line in enumerate(text.splitlines()):
+        m = DURATION_FIELD.search(line)
+        if m is None:
+            continue
+        name = m.group(1).rstrip("_")
+        if re.search(
+            r"(?:timeout|deadline|cooldown|silence|backoff|stall)s", name
+        ):
+            continue  # counter (`timeouts`, `stalls_injected`), not a duration
+        finding(
+            path,
+            i + 1,
+            "timeout-type",
+            f"`{name}` looks like a duration; declare it SimDuration, "
+            "not a naked integer",
+        )
+
+
 def main():
     root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     src = root / "src"
@@ -211,6 +244,7 @@ def main():
         stripped = strip_comments(raw)  # no comment/string-literal matches
         if path.suffix == ".h":
             check_guard(path, rel, raw.splitlines())
+            check_timeout_type(path, stripped)
         else:
             check_own_header_first(path, rel, raw.splitlines(), src)
         check_input_paths(path, stripped)
