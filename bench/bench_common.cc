@@ -68,6 +68,8 @@ std::optional<BenchOptions> TryParseOptions(int argc, char** argv,
       options.jobs = static_cast<int>(n);
     } else if (std::strcmp(arg, "--csv") == 0) {
       options.csv = true;
+    } else if (std::strcmp(arg, "--walls") == 0) {
+      options.walls = true;
     } else {
       *error = std::string("unknown flag ") + arg;
       return std::nullopt;
@@ -91,7 +93,7 @@ BenchOptions ParseOptions(int argc, char** argv, double default_scale) {
   if (!options) {
     std::fprintf(stderr,
                  "%s\nusage: %s [--scale=F] [--repeats=N] [--seed=N] "
-                 "[--jobs=N] [--csv]\n",
+                 "[--jobs=N] [--csv] [--walls]\n",
                  error.c_str(), argv[0]);
     std::exit(2);
   }

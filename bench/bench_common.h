@@ -26,12 +26,17 @@ namespace dqsched::bench {
 ///   --jobs=<n>     worker threads for the cell grid (0 = hardware
 ///                  concurrency); results are identical for every value
 ///   --csv          machine-readable output
+///   --walls        append per-cell host wall-time columns where the bench
+///                  supports them; off by default because wall time is the
+///                  one column that is NOT byte-identical across runs or
+///                  --jobs values
 struct BenchOptions {
   double scale = 1.0;
   int repeats = 1;
   uint64_t seed = 42;
   int jobs = 0;  // 0 = hardware concurrency
   bool csv = false;
+  bool walls = false;
 };
 
 /// Parses argv strictly (malformed numbers are rejected, not coerced to

@@ -4,6 +4,7 @@
 // the table reports the makespan (throughput side) and the mean response
 // time (latency side).
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -34,10 +35,23 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // Large mixes stress the shared mediator's event loop (done-query
+  // skipping, the all-starved arrival heap, incremental replans); serial
+  // mode scales trivially in n and would dominate the wall clock, so the
+  // wide axis is shared-only.
+  for (int n : {16, 32, 64}) {
+    for (core::StrategyKind kind :
+         {core::StrategyKind::kSeq, core::StrategyKind::kDse}) {
+      grid.push_back({n, core::MultiMode::kShared, kind});
+    }
+  }
   struct MultiOutcome {
     bool ok = false;
     std::string error;
     core::MultiQueryMetrics metrics;
+    /// Host wall time of Execute — the only column that varies run to run
+    /// (and with --jobs); every simulated metric is deterministic.
+    double wall_ms = 0.0;
   };
   const bench::ParallelRunner runner(options.jobs);
   const auto results = bench::RunIndexed<MultiOutcome>(
@@ -57,19 +71,26 @@ int main(int argc, char** argv) {
           out.error = mediator.status().ToString();
           return out;
         }
+        const auto t0 = std::chrono::steady_clock::now();
         Result<core::MultiQueryMetrics> r =
             mediator->Execute(cell.kind, cell.mode);
+        const auto t1 = std::chrono::steady_clock::now();
         if (!r.ok()) {
           out.error = r.status().ToString();
           return out;
         }
         out.ok = true;
         out.metrics = *r;
+        out.wall_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
         return out;
       });
 
-  TablePrinter table({"queries", "mode", "per-query", "makespan (s)",
-                      "mean response (s)", "total degradations"});
+  std::vector<std::string> headers = {"queries",      "mode",
+                                      "per-query",    "makespan (s)",
+                                      "mean response (s)", "total degradations"};
+  if (options.walls) headers.push_back("wall (ms)");
+  TablePrinter table(std::move(headers));
   for (size_t i = 0; i < grid.size(); ++i) {
     const MultiCell& cell = grid[i];
     const MultiOutcome& r = results[i];
@@ -79,11 +100,14 @@ int main(int argc, char** argv) {
                    core::StrategyName(cell.kind), r.error.c_str());
       return 1;
     }
-    table.AddRow({std::to_string(cell.n), core::MultiModeName(cell.mode),
-                  core::StrategyName(cell.kind),
-                  TablePrinter::Num(ToSecondsF(r.metrics.makespan)),
-                  TablePrinter::Num(ToSecondsF(r.metrics.mean_response)),
-                  std::to_string(r.metrics.total_degradations)});
+    std::vector<std::string> row = {
+        std::to_string(cell.n), core::MultiModeName(cell.mode),
+        core::StrategyName(cell.kind),
+        TablePrinter::Num(ToSecondsF(r.metrics.makespan)),
+        TablePrinter::Num(ToSecondsF(r.metrics.mean_response)),
+        std::to_string(r.metrics.total_degradations)};
+    if (options.walls) row.push_back(TablePrinter::Num(r.wall_ms));
+    table.AddRow(std::move(row));
   }
   if (options.csv) {
     table.PrintCsv(stdout);

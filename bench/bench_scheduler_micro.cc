@@ -78,7 +78,14 @@ void BM_ComputePlan(benchmark::State& state) {
   }
   state.SetLabel(std::to_string(fixture.compiled.num_chains()) + " chains");
 }
-BENCHMARK(BM_ComputePlan)->Arg(3)->Arg(6)->Arg(12)->Arg(24)->Arg(48);
+BENCHMARK(BM_ComputePlan)
+    ->Arg(3)
+    ->Arg(6)
+    ->Arg(12)
+    ->Arg(24)
+    ->Arg(48)
+    ->Arg(96)
+    ->Arg(192);
 
 void BM_HashIndexBuild(benchmark::State& state) {
   const int64_t n = state.range(0);

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
         if (chain.source == slowed) slowed_chain = chain.id;
       }
       for (const auto& chain : compiled->chains) {
-        for (ChainId a : compiled->Ancestors(chain.id)) {
+        for (ChainId a : compiled->AncestorsOf(chain.id)) {
           if (a == slowed_chain) ++dependents;
         }
       }

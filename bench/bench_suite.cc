@@ -291,13 +291,27 @@ std::vector<SuiteCell> BuildSuite(const BenchOptions& options) {
   }
 
   // Multi-query outlook (binary default scale 0.1); the makespan is the
-  // tracked "simulated seconds".
+  // tracked "simulated seconds". Small mixes cover both interleavings;
+  // the larger ones are shared-only, guarding the scheduler's large-mix
+  // event loop (done-query skipping, arrival heap, incremental replans).
   {
     const double scale = 0.1 * options.scale;
+    struct MixAxis {
+      int n;
+      core::MultiMode mode;
+    };
+    std::vector<MixAxis> axes;
     for (int n : {2, 4}) {
-      for (core::MultiMode mode :
-           {core::MultiMode::kSerial, core::MultiMode::kShared}) {
-        for (core::StrategyKind kind :
+      axes.push_back({n, core::MultiMode::kSerial});
+      axes.push_back({n, core::MultiMode::kShared});
+    }
+    for (int n : {8, 16}) {
+      axes.push_back({n, core::MultiMode::kShared});
+    }
+    for (const MixAxis& axis : axes) {
+      const int n = axis.n;
+      const core::MultiMode mode = axis.mode;
+      for (core::StrategyKind kind :
              {core::StrategyKind::kSeq, core::StrategyKind::kDse}) {
           const std::string label = "n=" + std::to_string(n) + "/" +
                                     core::MultiModeName(mode) + "/" +
@@ -328,7 +342,6 @@ std::vector<SuiteCell> BuildSuite(const BenchOptions& options) {
                              outcome.seconds = ToSecondsF(r->makespan);
                              return outcome;
                            }});
-        }
       }
     }
   }

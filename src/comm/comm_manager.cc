@@ -20,6 +20,7 @@ void CommManager::AddSource(std::unique_ptr<wrapper::SimWrapper> w,
   snapshots_.push_back(PlanSnapshot{prior_wait_ns, 0});
   fault_state_.emplace_back();
   heap_key_.push_back(kSimTimeNever);
+  source_version_.push_back(0);
   const size_t i = wrappers_.size() - 1;
   if (wrappers_[i]->Exhausted()) {
     // Empty relation: the stream closes without any push (previously done
@@ -40,9 +41,11 @@ void CommManager::SyncSource(size_t i) {
 void CommManager::PumpSource(size_t i, SimTime now) {
   auto& q = *queues_[i];
   const int64_t before = q.total_pushed();
+  const SimTime arrival_before = wrappers_[i]->NextArrival();
   wrappers_[i]->PumpInto(q, now, estimators_[i].get());
   if (q.total_pushed() != before) {
     ++est_version_;
+    ++source_version_[i];
     if (config_.failure_detection) OnDelivery(i);
   }
   if (wrappers_[i]->has_faults()) {
@@ -58,9 +61,18 @@ void CommManager::PumpSource(size_t i, SimTime now) {
       wrappers_[i]->PumpInto(q, now, estimators_[i].get());
       if (q.total_pushed() == b) break;
       ++est_version_;
+      ++source_version_[i];
       if (config_.failure_detection) OnDelivery(i);
       IngestReplayWindows(i);
     }
+  }
+  // A pump can move NextArrival with zero deliveries — the window protocol
+  // suspending the producer on a full queue flips it to kSimTimeNever.
+  // Version-guarded arrival caches (SourceVersion's contract covers
+  // NextArrival) must see that transition or they would keep stalling on
+  // the stale pre-suspension arrival time forever.
+  if (wrappers_[i]->NextArrival() != arrival_before) {
+    ++source_version_[i];
   }
   SyncSource(i);
 }
@@ -83,6 +95,7 @@ int64_t CommManager::Pop(SourceId source, SimTime now, storage::Tuple* out,
   const int64_t n = fault_state_[i].windows.empty()
                         ? q.PopBatch(out, max)
                         : PopDeduped(i, out, max);
+  if (n > 0) ++source_version_[i];
   // Draining may unblock a suspended producer: its pending tuple enters at
   // the drain time.
   if (w.Suspended() || w.NextArrival() <= now) PumpSource(i, now);
@@ -154,6 +167,7 @@ bool CommManager::RateChangedSincePlan(SimTime now) {
     // the plan's estimates are stale by construction.
     if (!snapshots_[i].warm && estimators_[i]->warm()) {
       last_signal_ = now;
+      last_signal_source_ = static_cast<SourceId>(i);
       ++rate_change_signals_;
       memo_full_eval_ = false;
       return true;
@@ -176,6 +190,7 @@ bool CommManager::RateChangedSincePlan(SimTime now) {
     if (cur > ref * config_.rate_change_ratio ||
         cur < ref / config_.rate_change_ratio) {
       last_signal_ = now;
+      last_signal_source_ = static_cast<SourceId>(i);
       ++rate_change_signals_;
       memo_full_eval_ = false;
       return true;
@@ -194,6 +209,7 @@ void CommManager::OnDelivery(size_t i) {
   if (fs.health != Health::kHealthy && !fs.abandoned) {
     fs.health = Health::kHealthy;
     ++recoveries_;
+    ++source_version_[i];  // SourceSuspected flipped
     fault_signals_.push_back(FaultSignal{FaultSignal::Kind::kRecovered,
                                          static_cast<SourceId>(i)});
   }
@@ -249,6 +265,7 @@ bool CommManager::DiscardDupPrefix(size_t i) {
     const int64_t got = q.PopBatch(discard_scratch_.data(), dup);
     fs.replay_discarded += got;
     replay_discarded_total_ += got;
+    if (got > 0) ++source_version_[i];
     discarded = true;
   }
   return discarded;
@@ -294,12 +311,14 @@ void CommManager::UpdateFaultState(SimTime now) {
     if (fs.health == Health::kHealthy && silence >= SuspectTimeout(i)) {
       fs.health = Health::kSuspected;
       ++suspicions_;
+      ++source_version_[i];
       fault_signals_.push_back(
           FaultSignal{FaultSignal::Kind::kDown, static_cast<SourceId>(i)});
     }
     if (fs.health == Health::kSuspected && silence >= DeadTimeout(i)) {
       fs.health = Health::kDead;
       ++declared_dead_;
+      ++source_version_[i];
       fault_signals_.push_back(
           FaultSignal{FaultSignal::Kind::kDead, static_cast<SourceId>(i)});
     }
@@ -348,6 +367,7 @@ void CommManager::AbandonSource(SourceId source) {
   if (!queues_[i]->producer_closed()) queues_[i]->CloseProducer();
   SyncSource(i);       // NextArrival is now kSimTimeNever
   ++est_version_;      // the scheduler's inputs changed
+  ++source_version_[i];
 }
 
 int64_t CommManager::ReplayDiscarded(SourceId source) const {

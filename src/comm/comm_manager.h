@@ -134,6 +134,22 @@ class CommManager {
 
   int64_t rate_change_signals() const { return rate_change_signals_; }
 
+  /// The source whose estimate triggered the most recent true verdict of
+  /// RateChangedSincePlan (kInvalidId before any signal). Multi-query
+  /// targeted replanning routes the replan to the queries reading it.
+  SourceId LastRateChangeSource() const { return last_signal_source_; }
+
+  /// Per-source delivery version: bumped whenever anything the scheduler's
+  /// criticality function reads about `source` may have changed — pushes
+  /// (which also advance the estimator and shrink the wrapper remainder),
+  /// pops, replay-duplicate discards, liveness transitions, abandonment.
+  /// Monotone; an unchanged version guarantees RemainingTuples,
+  /// EstimatedWaitNs, SourceSuspected, and NextArrival are unchanged.
+  /// Over-bumping is safe (a spurious recompute), under-bumping is not.
+  uint64_t SourceVersion(SourceId source) const {
+    return source_version_[static_cast<size_t>(source)];
+  }
+
   // --- Failure detection (all no-ops / false unless armed) ---
 
   bool failure_detection() const { return config_.failure_detection; }
@@ -244,7 +260,10 @@ class CommManager {
   int64_t memo_version_ = -1;
   bool memo_full_eval_ = false;
   SimTime last_signal_ = -1;
+  SourceId last_signal_source_ = kInvalidId;
   int64_t rate_change_signals_ = 0;
+  /// See SourceVersion().
+  std::vector<uint64_t> source_version_;
 
   // Failure-detection state (inert unless config_.failure_detection,
   // except the replay windows, which follow the wrapper's fault schedule).

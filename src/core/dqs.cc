@@ -10,29 +10,13 @@ namespace dqsched::core {
 
 namespace {
 
-/// Number of chains transitively blocked by `chain` — the tie-breaker when
-/// critical degrees are close (unblocking more downstream work first).
-int TransitiveDependents(const plan::CompiledPlan& compiled, ChainId chain) {
-  int count = 0;
-  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
-    if (c == chain) continue;
-    for (ChainId a : compiled.Ancestors(c)) {
-      if (a == chain) {
-        ++count;
-        break;
-      }
-    }
-  }
-  return count;
-}
-
 /// Some unfinished ancestor of `chain` reads a source the failure detector
 /// suspects: the chain's unblocking is delayed indefinitely, not just by
 /// the ancestor's normal drain time.
 bool BlockedOnSuspectedSource(const ExecutionState& state,
                               const exec::ExecContext& ctx, ChainId chain) {
   const plan::CompiledPlan& compiled = state.compiled();
-  for (ChainId a : compiled.Ancestors(chain)) {
+  for (ChainId a : compiled.AncestorsOf(chain)) {
     if (state.ChainDone(a)) continue;
     if (ctx.comm.SourceSuspected(compiled.chain(a).source)) return true;
   }
@@ -68,30 +52,33 @@ Result<SchedulingPlan> Dqs::ComputePlan(ExecutionState& state,
                                         exec::ExecContext& ctx, Dqo& dqo) {
   const auto host_start = std::chrono::steady_clock::now();
   ++planning_phases_;
+  // Step 1: snapshot the delivery-rate estimates; future RateChange
+  // signals compare against this plan's view.
   ctx.comm.MarkPlanned(ctx.clock.now());
 
   const plan::CompiledPlan& compiled = state.compiled();
+  const int num_chains = compiled.num_chains();
 
   // Audit point (DQSCHED_AUDIT builds): the decomposition and the runtime
   // conservation laws must hold before a new plan is derived from them.
   DQS_AUDIT(AuditCompiledPlan(compiled));
   DQS_AUDIT(AuditExecutionState(state, ctx));
 
-  // Step 1: degraded chains whose ancestors finished resume as CF(p).
-  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+  // Step 2: degraded chains whose ancestors finished resume as CF(p).
+  for (ChainId c = 0; c < num_chains; ++c) {
     if (!state.ChainDone(c) && state.Degraded(c) && !state.CfActivated(c) &&
         state.CSchedulable(c)) {
       state.ActivateCf(c, ctx);
     }
   }
 
-  // Step 2: degrade critical, blocked, not-yet-degraded chains when
+  // Step 3: degrade critical, blocked, not-yet-degraded chains when
   // materialization is beneficial (bmi > bmt). Degradation is
   // irreversible, so it waits for an *observed* delivery rate: until a
   // source's estimator warms up, its w is just the compile-time prior (the
   // CM signals a RateChange the moment initial observations land, so the
   // decision is only deferred by a fraction of a millisecond).
-  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+  for (ChainId c = 0; c < num_chains; ++c) {
     if (state.ChainDone(c) || state.Degraded(c) || state.CSchedulable(c)) {
       continue;
     }
@@ -115,72 +102,161 @@ Result<SchedulingPlan> Dqs::ComputePlan(ExecutionState& state,
     }
   }
 
-  // Step 3: recursive priorities (the heuristic of the paper's companion
-  // report [6]: "recursively computes the QFs' priorities, beginning with
-  // the most critical PC"). A chain's *subtree criticality* is its own
-  // critical degree plus that of every chain it transitively blocks:
-  // starving a gating chain delays all of its dependents' scheduling, so
-  // its urgency accumulates theirs.
-  std::vector<double> critical(static_cast<size_t>(compiled.num_chains()));
-  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
-    critical[static_cast<size_t>(c)] =
-        state.ChainDone(c) ? 0.0 : ChainCritical(state, ctx, c);
-  }
-  std::vector<double> subtree = critical;
-  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
-    for (ChainId a : compiled.Ancestors(c)) {
-      subtree[static_cast<size_t>(a)] += critical[static_cast<size_t>(c)];
-    }
-  }
-
-  // Step 4: collect candidates — C-schedulable chain fragments and live
-  // materialization fragments.
-  struct Candidate {
-    int fragment;
-    double priority;
-    int dependents;
-  };
-  std::vector<Candidate> candidates;
-  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+  // Memory-overflow revision (M-schedulability of the chain in isolation,
+  // Section 4.2; exact operand sizes are known because ancestors
+  // finished): a C-schedulable chain that cannot open within the whole
+  // budget is split by the DQO before candidates are collected.
+  for (ChainId c = 0; c < num_chains; ++c) {
     if (state.ChainDone(c) || !state.CSchedulable(c)) continue;
     const int frag = state.ChainFragment(c);
     if (!state.FragmentActive(frag)) continue;
-
-    // M-schedulability of the chain in isolation (Section 4.2): exact
-    // operand sizes are known here because ancestors finished.
     exec::FragmentRuntime& rt = state.fragment(frag);
     if (!rt.opened() && rt.BytesToOpen(ctx) > ctx.memory.budget()) {
       DQS_RETURN_IF_ERROR(dqo.HandleMemoryOverflow(state, ctx, c));
       // The slot now holds the first split stage.
     }
-    candidates.push_back({state.ChainFragment(c),
-                          subtree[static_cast<size_t>(c)],
-                          TransitiveDependents(compiled, c)});
-  }
-  for (int f = compiled.num_chains(); f < state.num_fragments(); ++f) {
-    if (!state.FragmentActive(f)) continue;
-    const ChainId origin = state.FragmentChain(f);
-    const double crit =
-        origin == kInvalidId ? 0.0 : subtree[static_cast<size_t>(origin)];
-    const int deps =
-        origin == kInvalidId ? 0 : TransitiveDependents(compiled, origin);
-    candidates.push_back({f, crit, deps});
   }
 
-  // Step 5: priority order — subtree criticality, then unblocking power.
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [](const Candidate& a, const Candidate& b) {
-                     if (a.priority != b.priority) {
-                       return a.priority > b.priority;
-                     }
-                     return a.dependents > b.dependents;
-                   });
+  // All structural mutation of this phase is behind us; everything below
+  // is a pure function of (state, comm estimates) and cacheable.
+  const uint64_t structural = state.structural_version();
+  const bool fresh = !cache_.valid || cache_.state != &state ||
+                     cache_.structural_version != structural;
 
-  // Step 5: greedy memory admission. Fragments already holding grants are
+  // Step 4: recursive priorities (the heuristic of the paper's companion
+  // report [6]: "recursively computes the QFs' priorities, beginning with
+  // the most critical PC"). A chain's *subtree criticality* is its own
+  // critical degree plus that of every chain it transitively blocks:
+  // starving a gating chain delays all of its dependents' scheduling, so
+  // its urgency accumulates theirs. On a warm cache only chains whose
+  // source version drifted recompute; the subtree sums they feed re-sum
+  // their descendant span in the same ascending order the full rebuild
+  // uses, so warm and cold results are bit-identical.
+  auto resum_subtree = [&](ChainId c) {
+    double acc = cache_.critical[static_cast<size_t>(c)];
+    for (ChainId d : compiled.TransitiveDependentsOf(c)) {
+      acc += cache_.critical[static_cast<size_t>(d)];
+    }
+    cache_.subtree[static_cast<size_t>(c)] = acc;
+  };
+  dirty_chains_.clear();
+  if (fresh) {
+    ++full_replans_;
+    cache_.critical.resize(static_cast<size_t>(num_chains));
+    cache_.subtree.resize(static_cast<size_t>(num_chains));
+    cache_.source_version.resize(static_cast<size_t>(num_chains));
+    dirty_mark_.assign(static_cast<size_t>(num_chains), 0);
+    for (ChainId c = 0; c < num_chains; ++c) {
+      cache_.source_version[static_cast<size_t>(c)] =
+          ctx.comm.SourceVersion(compiled.chain(c).source);
+      cache_.critical[static_cast<size_t>(c)] =
+          state.ChainDone(c) ? 0.0 : ChainCritical(state, ctx, c);
+    }
+    for (ChainId c = 0; c < num_chains; ++c) resum_subtree(c);
+  } else {
+    ++incremental_replans_;
+    for (ChainId c = 0; c < num_chains; ++c) {
+      const uint64_t v = ctx.comm.SourceVersion(compiled.chain(c).source);
+      if (v == cache_.source_version[static_cast<size_t>(c)]) continue;
+      cache_.source_version[static_cast<size_t>(c)] = v;
+      const double crit =
+          state.ChainDone(c) ? 0.0 : ChainCritical(state, ctx, c);
+      if (crit == cache_.critical[static_cast<size_t>(c)]) continue;
+      cache_.critical[static_cast<size_t>(c)] = crit;
+      // The chain's own subtree and every ancestor's sum include this
+      // term: mark them all for re-summation and order repair.
+      if (dirty_mark_[static_cast<size_t>(c)] == 0) {
+        dirty_mark_[static_cast<size_t>(c)] = 1;
+        dirty_chains_.push_back(c);
+      }
+      for (ChainId a : compiled.AncestorsOf(c)) {
+        if (dirty_mark_[static_cast<size_t>(a)] == 0) {
+          dirty_mark_[static_cast<size_t>(a)] = 1;
+          dirty_chains_.push_back(a);
+        }
+      }
+    }
+    for (ChainId c : dirty_chains_) resum_subtree(c);
+  }
+
+  // Step 5: collect candidates — C-schedulable chain fragments and live
+  // materialization fragments — and order them by subtree criticality,
+  // then unblocking power. Ties beyond those two keys resolve by the
+  // canonical construction order (what a stable sort preserves), making
+  // the order a strict total order: the warm path merely repositions the
+  // candidates whose priority drifted and lands on the same sequence a
+  // cold sort produces.
+  auto candidate_before = [this](int i, int j) {
+    const Candidate& a = cache_.candidates[static_cast<size_t>(i)];
+    const Candidate& b = cache_.candidates[static_cast<size_t>(j)];
+    if (a.priority != b.priority) return a.priority > b.priority;
+    if (a.dependents != b.dependents) return a.dependents > b.dependents;
+    return i < j;
+  };
+  if (fresh) {
+    cache_.candidates.clear();
+    for (ChainId c = 0; c < num_chains; ++c) {
+      if (state.ChainDone(c) || !state.CSchedulable(c)) continue;
+      const int frag = state.ChainFragment(c);
+      if (!state.FragmentActive(frag)) continue;
+      cache_.candidates.push_back(
+          {frag, c, compiled.NumTransitiveDependents(c),
+           cache_.subtree[static_cast<size_t>(c)]});
+    }
+    for (int f = num_chains; f < state.num_fragments(); ++f) {
+      if (!state.FragmentActive(f)) continue;
+      const ChainId origin = state.FragmentChain(f);
+      Candidate cand;
+      cand.fragment = f;
+      cand.origin = origin;
+      cand.dependents =
+          origin == kInvalidId ? 0 : compiled.NumTransitiveDependents(origin);
+      cand.priority = origin == kInvalidId
+                          ? 0.0
+                          : cache_.subtree[static_cast<size_t>(origin)];
+      cache_.candidates.push_back(cand);
+    }
+    cache_.order.resize(cache_.candidates.size());
+    for (size_t i = 0; i < cache_.order.size(); ++i) {
+      cache_.order[i] = static_cast<int>(i);
+    }
+    std::sort(cache_.order.begin(), cache_.order.end(), candidate_before);
+  } else if (!dirty_chains_.empty()) {
+    changed_order_.clear();
+    kept_order_.clear();
+    for (Candidate& cand : cache_.candidates) {
+      if (cand.origin != kInvalidId &&
+          dirty_mark_[static_cast<size_t>(cand.origin)] != 0) {
+        cand.priority = cache_.subtree[static_cast<size_t>(cand.origin)];
+      }
+    }
+    for (int idx : cache_.order) {
+      const ChainId origin =
+          cache_.candidates[static_cast<size_t>(idx)].origin;
+      if (origin != kInvalidId &&
+          dirty_mark_[static_cast<size_t>(origin)] != 0) {
+        changed_order_.push_back(idx);
+      } else {
+        kept_order_.push_back(idx);
+      }
+    }
+    std::sort(changed_order_.begin(), changed_order_.end(),
+              candidate_before);
+    std::merge(kept_order_.begin(), kept_order_.end(),
+               changed_order_.begin(), changed_order_.end(),
+               cache_.order.begin(), candidate_before);
+  }
+  for (ChainId c : dirty_chains_) dirty_mark_[static_cast<size_t>(c)] = 0;
+  cache_.valid = true;
+  cache_.state = &state;
+  cache_.structural_version = structural;
+
+  // Step 6: greedy memory admission. Fragments already holding grants are
   // free; unopened ones reserve their open cost against what is left.
   SchedulingPlan sp;
   int64_t remaining = ctx.memory.available();
-  for (const Candidate& cand : candidates) {
+  for (int idx : cache_.order) {
+    const Candidate& cand = cache_.candidates[static_cast<size_t>(idx)];
     exec::FragmentRuntime& rt = state.fragment(cand.fragment);
     const int64_t need = rt.opened() ? 0 : rt.BytesToOpen(ctx);
     if (need <= remaining) {
@@ -192,9 +268,11 @@ Result<SchedulingPlan> Dqs::ComputePlan(ExecutionState& state,
   // Progress guarantee: never return an empty plan while work exists. The
   // top candidate runs alone; if its Open still fails, the DQP raises
   // MemoryOverflow and the DQO revises the plan.
-  if (sp.fragments.empty() && !candidates.empty()) {
-    sp.fragments.push_back(candidates.front().fragment);
-    sp.critical_ns.push_back(candidates.front().priority);
+  if (sp.fragments.empty() && !cache_.order.empty()) {
+    const Candidate& top =
+        cache_.candidates[static_cast<size_t>(cache_.order.front())];
+    sp.fragments.push_back(top.fragment);
+    sp.critical_ns.push_back(top.priority);
   }
 
   planning_host_seconds_ +=

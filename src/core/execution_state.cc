@@ -134,6 +134,7 @@ int ExecutionState::Degrade(ChainId chain, exec::ExecContext& ctx) {
   st.degraded = true;
   st.mf_temp = ctx.temps.Create("mf_" + info.name);
   ++degradations_;
+  ++structural_version_;
 
   // MF(p): the wrapper's output through the chain's leading filters ("the
   // first scan operator of p, if any") into the temp.
@@ -166,6 +167,7 @@ void ExecutionState::ActivateCf(ChainId chain, exec::ExecContext& ctx) {
                 "illegal CF activation of chain %s", info.name.c_str());
   st.cf_activated = true;
   ++cf_activations_;
+  ++structural_version_;
 
   FragmentSlot& mf_slot = fragments_[static_cast<size_t>(st.mf_fragment)];
   if (!mf_slot.runtime->closed()) {
@@ -234,6 +236,7 @@ Status ExecutionState::SplitForMemory(ChainId chain, exec::ExecContext& ctx,
         std::to_string(budget_bytes) + " bytes together");
   }
   ++dqo_splits_;
+  ++structural_version_;
 
   // Materialize drafts into fragment specs chained through temps. New
   // stages go to the FRONT of the pending queue: a re-split of the current
@@ -284,6 +287,7 @@ void ExecutionState::RebindChainToTemp(ChainId chain, TempId temp,
   DQS_CHECK_MSG(slot.runtime->stats().consumed == 0,
                 "rebind of started chain %d", chain);
   (void)ctx;
+  ++structural_version_;
   slot.runtime = std::make_unique<FragmentRuntime>(
       BaseSpecFor(chain),
       std::make_unique<TempSource>(temp, options_.async_io), &operands_,
@@ -297,6 +301,7 @@ int ExecutionState::CreateMaterializeAll(SourceId source,
   }
   DQS_CHECK_MSG(MaTempOf(source) == kInvalidId,
                 "source %d materialized twice", source);
+  ++structural_version_;
   FragmentSpec spec;
   spec.name = "MA(src" + std::to_string(source) + ")";
   spec.sink = SinkKind::kTemp;
@@ -322,6 +327,7 @@ TempId ExecutionState::MaTempOf(SourceId source) const {
 void ExecutionState::OnFragmentFinished(int id, exec::ExecContext& ctx) {
   FragmentSlot& slot = fragments_[static_cast<size_t>(id)];
   DQS_CHECK_MSG(!slot.runtime->closed(), "fragment %d finished twice", id);
+  ++structural_version_;
   slot.runtime->Close(ctx);
   slot.active = false;
   if (!slot.is_mf && slot.chain != kInvalidId) {

@@ -122,6 +122,15 @@ class ExecutionState {
   int64_t cf_activations() const { return cf_activations_; }
   int64_t dqo_splits() const { return dqo_splits_; }
 
+  /// Bumped by every mutation that can change chain done-ness, fragment
+  /// membership/activity, or degradation state (Degrade, ActivateCf,
+  /// SplitForMemory, OnFragmentFinished, RebindChainToTemp,
+  /// CreateMaterializeAll). The DQS plan cache keys its candidate set and
+  /// sorted order on this: an unchanged version guarantees the structural
+  /// inputs of planning are unchanged (delivery-side drift is tracked
+  /// separately via CommManager::SourceVersion).
+  uint64_t structural_version() const { return structural_version_; }
+
   exec::OperandRegistry& operands() { return operands_; }
   const exec::OperandRegistry& operands() const { return operands_; }
   const ExecutionOptions& options() const { return options_; }
@@ -183,6 +192,7 @@ class ExecutionState {
   std::vector<TempId> ma_temps_;  // per source, MA phase 1
   ExecutionTrace trace_;
   int64_t split_serial_ = 0;      // unique suffixes for split stage names
+  uint64_t structural_version_ = 0;
   int64_t degradations_ = 0;
   int64_t cf_activations_ = 0;
   int64_t dqo_splits_ = 0;

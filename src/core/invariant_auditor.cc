@@ -237,6 +237,13 @@ Status AuditCompiledPlan(const plan::CompiledPlan& compiled) {
                               " carries a negative or non-finite annotation");
     }
   }
+
+  // Closure-index coherence: the flattened ancestor/descendant arenas the
+  // scheduler's hot paths read must agree with the reference DFS. Plans
+  // hand-built without Compile() carry no index and are exempt.
+  if (compiled.HasClosureIndex()) {
+    DQS_RETURN_IF_ERROR(compiled.ValidateClosureIndex());
+  }
   return Status::Ok();
 }
 

@@ -1,7 +1,10 @@
 #include "core/multi_query.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <queue>
+#include <utility>
 
 #include "common/macros.h"
 #include "core/dqo.h"
@@ -122,11 +125,7 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteSerial(
     out.total_result_tuples += metrics->result_count;
     out.peak_memory_bytes =
         std::max(out.peak_memory_bytes, metrics->peak_memory_bytes);
-    out.disk.pages_read += metrics->disk.pages_read;
-    out.disk.pages_written += metrics->disk.pages_written;
-    out.disk.positionings += metrics->disk.positionings;
-    out.disk.io_calls += metrics->disk.io_calls;
-    out.disk.busy += metrics->disk.busy;
+    out.disk += metrics->disk;
   }
   out.makespan = offset;
   SimDuration sum = 0;
@@ -166,6 +165,15 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
     // kSeq: iterator-model chain order and position.
     std::vector<ChainId> seq_order;
     size_t seq_cursor = 0;
+    // Cached minimum NextArrival over this query's active fragments (the
+    // all-starved scan). Valid while `arrival_epoch` — the query's
+    // structural version plus the sum of its sources' delivery versions —
+    // holds and no contributing source answers time-dependently
+    // (TimeDependentArrival: temp-backed values drift with the clock).
+    SimTime arrival_min = 0;
+    uint64_t arrival_epoch = 0;
+    bool arrival_valid = false;
+    bool arrival_volatile = false;
   };
   std::vector<QueryRun> runs(static_cast<size_t>(nq));
   for (int qi = 0; qi < nq; ++qi) {
@@ -209,15 +217,52 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
     return Status::Ok();
   };
 
+  // Every global source id maps to exactly one owning query (catalogs are
+  // disjoint and offsets contiguous): the targeted-replan subscription.
+  std::vector<int> source_owner;
+  source_owner.reserve(static_cast<size_t>(ctx.comm.num_sources()));
+  for (int qi = 0; qi < nq; ++qi) {
+    const int ns = queries_[static_cast<size_t>(qi)].catalog.num_sources();
+    source_owner.insert(source_owner.end(), static_cast<size_t>(ns), qi);
+  }
+
+  // The per-query epoch guarding the arrival cache: any mutation that can
+  // move the query's earliest arrival bumps one of these monotone
+  // counters, so an unchanged sum proves the cached minimum still holds.
+  auto query_epoch = [&](int qi) {
+    const QueryRun& r = runs[static_cast<size_t>(qi)];
+    const PreparedQuery& q = queries_[static_cast<size_t>(qi)];
+    uint64_t e = r.state->structural_version();
+    const SourceId lo = q.source_offset;
+    const SourceId hi = lo + q.catalog.num_sources();
+    for (SourceId s = lo; s < hi; ++s) e += ctx.comm.SourceVersion(s);
+    return e;
+  };
+
+  // Lazy min-heap over per-query earliest arrivals (same stale-entry
+  // pattern as CommManager's pump heap): `arrival_key[qi]` is the only
+  // live key for query qi; entries whose key differs are skipped on pop.
+  std::priority_queue<std::pair<SimTime, int>,
+                      std::vector<std::pair<SimTime, int>>, std::greater<>>
+      arrival_heap;
+  std::vector<SimTime> arrival_key(static_cast<size_t>(nq), kSimTimeNever);
+
+  // Round-robin over the undone queries as a circular list: identical
+  // visit order to indexing turn % nq, but finished queries cost nothing
+  // to skip.
+  std::vector<int> ring_next(static_cast<size_t>(nq));
+  for (int qi = 0; qi < nq; ++qi) {
+    ring_next[static_cast<size_t>(qi)] = (qi + 1) % nq;
+  }
+  int ring_prev = nq - 1;  // first visit: ring_next[nq - 1] == 0
+
   int remaining = nq;
   int starved_streak = 0;
-  int turn = 0;
   int64_t guard = 0;
   while (remaining > 0) {
     DQS_CHECK_MSG(++guard < (1LL << 40), "multi-query livelock");
-    QueryRun& run = runs[static_cast<size_t>(turn % nq)];
-    ++turn;
-    if (run.done) continue;
+    const int cur = ring_next[static_cast<size_t>(ring_prev)];
+    QueryRun& run = runs[static_cast<size_t>(cur)];
 
     if (run.need_replan) {
       DQS_RETURN_IF_ERROR(build_sp(run));
@@ -226,10 +271,14 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
     Result<Event> evt = run.dqp->RunPhase(*run.state, run.sp, ctx);
     if (!evt.ok()) return evt.status();
 #ifdef DQS_MQ_DEBUG
-    std::fprintf(stderr, "[mq] t=%.3fms q=%d evt=%s frag=%d streak=%d rem=%d\n",
-                 ToMillis(ctx.clock.now()), static_cast<int>(turn - 1) % nq,
-                 EventKindName(evt->kind), evt->fragment, starved_streak,
-                 remaining);
+    if ((guard & ((1LL << 20) - 1)) == 0) {
+      std::fprintf(stderr,
+                   "[mq] it=%lld t=%.6fms q=%d evt=%s frag=%d streak=%d "
+                   "rem=%d heap=%zu\n",
+                   static_cast<long long>(guard), ToMillis(ctx.clock.now()),
+                   cur, EventKindName(evt->kind), evt->fragment,
+                   starved_streak, remaining, arrival_heap.size());
+    }
 #endif
     if (evt->kind != EventKind::kStarved) starved_streak = 0;
     switch (evt->kind) {
@@ -249,7 +298,22 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
         if (strategy == StrategyKind::kSeq) {
           ctx.comm.MarkPlanned(ctx.clock.now());
         }
-        run.need_replan = true;
+        if (config_.targeted_replans) {
+          // Route the replan to the query subscribed to the drifting
+          // source rather than the one that happened to observe the
+          // signal. Unattributable or orphaned signals fall back to the
+          // observer so the estimate snapshot is always re-acknowledged.
+          const SourceId src = ctx.comm.LastRateChangeSource();
+          const int owner =
+              src == kInvalidId ? -1 : source_owner[static_cast<size_t>(src)];
+          if (owner >= 0 && !runs[static_cast<size_t>(owner)].done) {
+            runs[static_cast<size_t>(owner)].need_replan = true;
+          } else {
+            run.need_replan = true;
+          }
+        } else {
+          run.need_replan = true;
+        }
         break;
       case EventKind::kTimeout:
       case EventKind::kPlanExhausted:
@@ -279,15 +343,43 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
         run.need_replan = true;
         if (++starved_streak < remaining) break;
         // Every unfinished query starves: advance the shared clock to the
-        // earliest arrival any of them waits for.
-        SimTime next = kSimTimeNever;
-        for (QueryRun& other : runs) {
+        // earliest arrival any of them waits for. Per-query minima come
+        // from the arrival cache; only queries whose epoch drifted (or
+        // whose minimum is time-dependent) rescan their fragments.
+        for (int qi = 0; qi < nq; ++qi) {
+          QueryRun& other = runs[static_cast<size_t>(qi)];
           if (other.done) continue;
-          ExecutionState& state = *other.state;
+          const uint64_t epoch = query_epoch(qi);
+          if (other.arrival_valid && !other.arrival_volatile &&
+              other.arrival_epoch == epoch) {
+            continue;
+          }
+          SimTime q_min = kSimTimeNever;
+          bool is_volatile = false;
+          const ExecutionState& state = *other.state;
           for (int f = 0; f < state.num_fragments(); ++f) {
             if (!state.FragmentActive(f)) continue;
-            next = std::min(next, state.fragment(f).NextArrival(ctx));
+            const exec::FragmentRuntime& rt = state.fragment(f);
+            q_min = std::min(q_min, rt.NextArrival(ctx));
+            is_volatile = is_volatile || rt.TimeDependentArrival();
           }
+          other.arrival_min = q_min;
+          other.arrival_epoch = epoch;
+          other.arrival_valid = true;
+          other.arrival_volatile = is_volatile;
+          arrival_key[static_cast<size_t>(qi)] = q_min;
+          if (q_min != kSimTimeNever) arrival_heap.push({q_min, qi});
+        }
+        SimTime next = kSimTimeNever;
+        while (!arrival_heap.empty()) {
+          const auto [at, qi] = arrival_heap.top();
+          if (runs[static_cast<size_t>(qi)].done ||
+              arrival_key[static_cast<size_t>(qi)] != at) {
+            arrival_heap.pop();  // stale entry, a newer key superseded it
+            continue;
+          }
+          next = at;
+          break;
         }
         if (next == kSimTimeNever) {
           return Status::Internal("multi-query mix cannot make progress");
@@ -296,6 +388,13 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
         starved_streak = 0;
         break;
       }
+    }
+
+    if (run.done) {
+      ring_next[static_cast<size_t>(ring_prev)] =
+          ring_next[static_cast<size_t>(cur)];
+    } else {
+      ring_prev = cur;
     }
   }
 

@@ -46,6 +46,13 @@ struct MultiQueryConfig {
   int64_t slice_batches = 32;
   uint64_t seed = 42;
   bool verify_results = true;
+  /// kShared: route a RateChange replan only to the queries actually
+  /// reading the drifting source (CommManager::LastRateChangeSource)
+  /// instead of replanning the query that happened to observe it.
+  /// Changes replan timing and therefore degradation decisions and
+  /// metrics; off by default to keep the baseline byte-identical
+  /// (DESIGN.md §9).
+  bool targeted_replans = false;
 };
 
 /// Results of one multi-query execution.

@@ -114,6 +114,8 @@ class FragmentRuntime {
   SimTime NextArrival(const ExecContext& ctx) const {
     return source_->NextArrival(ctx);
   }
+  /// See ChainSource::TimeDependentArrival().
+  bool TimeDependentArrival() const { return source_->TimeDependentArrival(); }
 
   ChainSource& source() { return *source_; }
   const ChainSource& source() const { return *source_; }

@@ -51,6 +51,12 @@ class ChainSource {
   /// kSimTimeNever if exhausted (or unknowable).
   virtual SimTime NextArrival(const ExecContext& ctx) const = 0;
 
+  /// True when NextArrival() may change as the virtual clock advances even
+  /// though no tuple was delivered or consumed (temp-backed sources answer
+  /// "ready now" or an in-flight completion time). The multi-query arrival
+  /// cache must not memoize such values across clock advances.
+  virtual bool TimeDependentArrival() const { return false; }
+
   /// The remote source consumed (kInvalidId for pure temp input).
   virtual SourceId remote_source() const = 0;
 
@@ -98,6 +104,7 @@ class TempSource final : public ChainSource {
   bool Exhausted(const ExecContext& ctx) const override;
   SimTime NextArrival(const ExecContext& ctx) const override;
   SourceId remote_source() const override { return kInvalidId; }
+  bool TimeDependentArrival() const override { return true; }
 
   TempId temp() const { return temp_; }
 
@@ -132,6 +139,9 @@ class ConcatSource final : public ChainSource {
   bool Backpressured(const ExecContext& ctx) const override {
     return second_->Backpressured(ctx);
   }
+  // Conservative: the temp prefix dominates until exhausted, and probing
+  // exhaustion here would itself need the clock-independent guarantee.
+  bool TimeDependentArrival() const override { return true; }
 
  private:
   std::unique_ptr<TempSource> first_;

@@ -1,6 +1,7 @@
 #include "plan/compiled_plan.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/macros.h"
 
@@ -94,6 +95,115 @@ class Compiler {
 
 }  // namespace
 
+void CompiledPlan::BuildClosureIndex() {
+  const size_t n = chains.size();
+  anc_offset.assign(n + 1, 0);
+  anc_arena.clear();
+  desc_offset.assign(n + 1, 0);
+  desc_arena.clear();
+  if (n == 0) return;
+
+  // Topological order over blocker edges (every blocker before the chains
+  // it blocks). The compiler assigns blockers higher ids than the blocked
+  // chain, but hand-assembled plans may not, so order explicitly.
+  std::vector<int> pending(n);
+  std::vector<ChainId> ready;
+  std::vector<std::vector<ChainId>> direct_deps(n);
+  for (size_t c = 0; c < n; ++c) {
+    pending[c] = static_cast<int>(chains[c].blockers.size());
+    if (pending[c] == 0) ready.push_back(static_cast<ChainId>(c));
+    for (ChainId b : chains[c].blockers) {
+      direct_deps[static_cast<size_t>(b)].push_back(static_cast<ChainId>(c));
+    }
+  }
+  std::vector<ChainId> topo;
+  topo.reserve(n);
+  while (!ready.empty()) {
+    const ChainId c = ready.back();
+    ready.pop_back();
+    topo.push_back(c);
+    for (ChainId d : direct_deps[static_cast<size_t>(c)]) {
+      if (--pending[static_cast<size_t>(d)] == 0) ready.push_back(d);
+    }
+  }
+  DQS_CHECK_MSG(topo.size() == n,
+                "closure index over a cyclic blocker relation (%zu of %zu "
+                "chains ordered)",
+                topo.size(), n);
+
+  // One bitset row per chain: anc(c) = U_{b in blockers(c)} {b} + anc(b).
+  const size_t words = (n + 63) / 64;
+  std::vector<uint64_t> bits(n * words, 0);
+  for (ChainId c : topo) {
+    uint64_t* row = bits.data() + static_cast<size_t>(c) * words;
+    for (ChainId b : chains[static_cast<size_t>(c)].blockers) {
+      row[static_cast<size_t>(b) / 64] |= uint64_t{1}
+                                          << (static_cast<size_t>(b) % 64);
+      const uint64_t* brow = bits.data() + static_cast<size_t>(b) * words;
+      for (size_t w = 0; w < words; ++w) row[w] |= brow[w];
+    }
+  }
+
+  // Emit the ancestor arena (ascending by construction of the bit scan)
+  // and count descendants per ancestor for the transposed arena.
+  std::vector<int32_t> desc_count(n, 0);
+  for (size_t c = 0; c < n; ++c) {
+    const uint64_t* row = bits.data() + c * words;
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t word = row[w];
+      while (word != 0) {
+        const auto bit = static_cast<size_t>(std::countr_zero(word));
+        word &= word - 1;
+        const auto a = static_cast<ChainId>(w * 64 + bit);
+        anc_arena.push_back(a);
+        ++desc_count[static_cast<size_t>(a)];
+      }
+    }
+    anc_offset[c + 1] = static_cast<int32_t>(anc_arena.size());
+  }
+  for (size_t a = 0; a < n; ++a) {
+    desc_offset[a + 1] = desc_offset[a] + desc_count[a];
+  }
+  // Filling in ascending chain order keeps every descendant span ascending
+  // — the DQS's incremental subtree recompute relies on summing the span
+  // in exactly the order the full recompute adds (see DESIGN.md §9).
+  desc_arena.resize(anc_arena.size());
+  std::vector<int32_t> cursor(desc_offset.begin(), desc_offset.end() - 1);
+  for (size_t c = 0; c < n; ++c) {
+    for (int32_t i = anc_offset[c]; i < anc_offset[c + 1]; ++i) {
+      const auto a = static_cast<size_t>(anc_arena[static_cast<size_t>(i)]);
+      desc_arena[static_cast<size_t>(cursor[a]++)] =
+          static_cast<ChainId>(c);
+    }
+  }
+}
+
+Status CompiledPlan::ValidateClosureIndex() const {
+  if (!HasClosureIndex() || desc_offset.size() != chains.size() + 1) {
+    return Status::Internal("closure index missing or mis-sized");
+  }
+  std::vector<std::vector<ChainId>> ref_desc(chains.size());
+  for (ChainId c = 0; c < num_chains(); ++c) {
+    const std::vector<ChainId> ref = Ancestors(c);
+    const std::span<const ChainId> got = AncestorsOf(c);
+    if (!std::equal(ref.begin(), ref.end(), got.begin(), got.end())) {
+      return Status::Internal("ancestor span of chain " + std::to_string(c) +
+                              " disagrees with the reference DFS");
+    }
+    for (ChainId a : ref) ref_desc[static_cast<size_t>(a)].push_back(c);
+  }
+  for (ChainId c = 0; c < num_chains(); ++c) {
+    const std::vector<ChainId>& ref = ref_desc[static_cast<size_t>(c)];
+    const std::span<const ChainId> got = TransitiveDependentsOf(c);
+    if (!std::equal(ref.begin(), ref.end(), got.begin(), got.end())) {
+      return Status::Internal("descendant span of chain " +
+                              std::to_string(c) +
+                              " disagrees with the reference DFS");
+    }
+  }
+  return Status::Ok();
+}
+
 std::vector<ChainId> CompiledPlan::Ancestors(ChainId id) const {
   std::vector<bool> seen(chains.size(), false);
   std::vector<ChainId> stack = chain(id).blockers;
@@ -134,7 +244,9 @@ std::vector<ChainId> CompiledPlan::IteratorModelOrder() const {
 Result<CompiledPlan> Compile(const Plan& plan,
                              const wrapper::Catalog& catalog) {
   DQS_RETURN_IF_ERROR(plan.Validate(catalog));
-  return Compiler(plan, catalog).Run();
+  Result<CompiledPlan> compiled = Compiler(plan, catalog).Run();
+  if (compiled.ok()) compiled.value().BuildClosureIndex();
+  return compiled;
 }
 
 }  // namespace dqsched::plan

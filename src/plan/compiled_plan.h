@@ -14,6 +14,8 @@
 #ifndef DQSCHED_PLAN_COMPILED_PLAN_H_
 #define DQSCHED_PLAN_COMPILED_PLAN_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -91,8 +93,53 @@ struct CompiledPlan {
     return chains[static_cast<size_t>(id)];
   }
 
+  // --- Closure index (filled by Compile() via BuildClosureIndex) --------
+  // Flattened transitive closure of the blocker DAG in CSR layout: chain
+  // c's entries occupy [offset[c], offset[c+1]) of the arena, sorted by
+  // ascending chain id. ancestors*(c) must all finish before c becomes
+  // C-schedulable; descendants*(c) are the chains c transitively gates
+  // (its transitive dependents). The scheduler's hot path reads these
+  // spans; the allocating DFS Ancestors() below stays as the reference
+  // implementation for the auditor and the randomized equivalence test.
+  std::vector<int32_t> anc_offset;
+  std::vector<ChainId> anc_arena;
+  std::vector<int32_t> desc_offset;
+  std::vector<ChainId> desc_arena;
+
+  bool HasClosureIndex() const {
+    return anc_offset.size() == chains.size() + 1;
+  }
+  /// ancestors*(id), ascending. Requires HasClosureIndex().
+  std::span<const ChainId> AncestorsOf(ChainId id) const {
+    const auto i = static_cast<size_t>(id);
+    return {anc_arena.data() + anc_offset[i],
+            static_cast<size_t>(anc_offset[i + 1] - anc_offset[i])};
+  }
+  /// descendants*(id) — the chains transitively blocked by `id` —
+  /// ascending. Requires HasClosureIndex().
+  std::span<const ChainId> TransitiveDependentsOf(ChainId id) const {
+    const auto i = static_cast<size_t>(id);
+    return {desc_arena.data() + desc_offset[i],
+            static_cast<size_t>(desc_offset[i + 1] - desc_offset[i])};
+  }
+  /// |descendants*(id)|: the DQS's unblocking-power tie-breaker, as a
+  /// table read instead of an O(chains * edges) DFS sweep.
+  int NumTransitiveDependents(ChainId id) const {
+    const auto i = static_cast<size_t>(id);
+    return desc_offset[i + 1] - desc_offset[i];
+  }
+
+  /// (Re)builds the closure index from `chains[*].blockers`. Requires an
+  /// acyclic blocker relation (always true for compiled plans; hand-built
+  /// cyclic plans must not call this).
+  void BuildClosureIndex();
+  /// Cross-checks the index against the reference DFS (Ancestors());
+  /// Internal error naming the first mismatching chain otherwise.
+  Status ValidateClosureIndex() const;
+
   /// Transitive closure of the blocker relation for `id` (the paper's
-  /// ancestors*(p)).
+  /// ancestors*(p)). Reference implementation: allocating DFS + sort.
+  /// Hot paths must use AncestorsOf() (enforced by dqs_lint).
   std::vector<ChainId> Ancestors(ChainId id) const;
 
   /// The execution order of the classical iterator model: for each join,

@@ -29,6 +29,16 @@ struct DiskStats {
   int64_t positionings = 0;  // non-sequential accesses (seek+latency paid)
   int64_t io_calls = 0;      // Transfer() invocations
   SimDuration busy = 0;      // total time the disk arm was busy
+
+  /// Aggregates stats across executions (multi-query accounting).
+  DiskStats& operator+=(const DiskStats& other) {
+    pages_read += other.pages_read;
+    pages_written += other.pages_written;
+    positionings += other.positionings;
+    io_calls += other.io_calls;
+    busy += other.busy;
+    return *this;
+  }
 };
 
 /// Single simulated disk with stream-aware sequential/positioned accesses.

@@ -32,6 +32,7 @@ TEST(BenchOptionsTest, DefaultsAreSane) {
   EXPECT_EQ(options->seed, 42u);
   EXPECT_EQ(options->jobs, 0);  // 0 = hardware concurrency
   EXPECT_FALSE(options->csv);
+  EXPECT_FALSE(options->walls);
 }
 
 TEST(BenchOptionsTest, DefaultScaleIsPerBench) {
@@ -43,15 +44,17 @@ TEST(BenchOptionsTest, DefaultScaleIsPerBench) {
 
 TEST(BenchOptionsTest, AcceptsEveryFlag) {
   std::string error;
-  const auto options = Parse(
-      {"--scale=0.5", "--repeats=3", "--seed=7", "--jobs=4", "--csv"},
-      &error);
+  const auto options =
+      Parse({"--scale=0.5", "--repeats=3", "--seed=7", "--jobs=4", "--csv",
+             "--walls"},
+            &error);
   ASSERT_TRUE(options.has_value()) << error;
   EXPECT_DOUBLE_EQ(options->scale, 0.5);
   EXPECT_EQ(options->repeats, 3);
   EXPECT_EQ(options->seed, 7u);
   EXPECT_EQ(options->jobs, 4);
   EXPECT_TRUE(options->csv);
+  EXPECT_TRUE(options->walls);
 }
 
 TEST(BenchOptionsTest, JobsZeroIsExplicitlyAllowed) {

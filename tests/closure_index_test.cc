@@ -1,0 +1,129 @@
+// Closure-index equivalence: the flattened ancestor/descendant arenas
+// Compile() builds must agree with the reference DFS (Ancestors()) on
+// every plan — canonical, randomized bushy, and optimizer-shaped.
+
+#include "plan/compiled_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "plan/canonical_plans.h"
+#include "plan/query_generator.h"
+
+namespace dqsched::plan {
+namespace {
+
+CompiledPlan CompileSetup(const QuerySetup& setup) {
+  Result<CompiledPlan> compiled = Compile(setup.plan, setup.catalog);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return std::move(compiled.value());
+}
+
+// Reference descendant sets derived purely from the reference ancestor
+// relation: d is a transitive dependent of a iff a is an ancestor of d.
+std::vector<std::vector<ChainId>> ReferenceDescendants(
+    const CompiledPlan& compiled) {
+  std::vector<std::vector<ChainId>> desc(
+      static_cast<size_t>(compiled.num_chains()));
+  for (ChainId d = 0; d < compiled.num_chains(); ++d) {
+    for (ChainId a : compiled.Ancestors(d)) {
+      desc[static_cast<size_t>(a)].push_back(d);
+    }
+  }
+  return desc;  // ascending d per a by construction
+}
+
+void ExpectIndexMatchesReference(const CompiledPlan& compiled) {
+  ASSERT_TRUE(compiled.HasClosureIndex());
+  const Status valid = compiled.ValidateClosureIndex();
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+
+  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+    const std::vector<ChainId> ref = compiled.Ancestors(c);
+    const auto span = compiled.AncestorsOf(c);
+    ASSERT_EQ(span.size(), ref.size()) << "chain " << c;
+    EXPECT_TRUE(std::equal(span.begin(), span.end(), ref.begin()))
+        << "ancestor span of chain " << c << " diverges from the DFS";
+    EXPECT_TRUE(std::is_sorted(span.begin(), span.end()));
+  }
+
+  const auto ref_desc = ReferenceDescendants(compiled);
+  for (ChainId c = 0; c < compiled.num_chains(); ++c) {
+    const auto& ref = ref_desc[static_cast<size_t>(c)];
+    const auto span = compiled.TransitiveDependentsOf(c);
+    ASSERT_EQ(span.size(), ref.size()) << "chain " << c;
+    EXPECT_TRUE(std::equal(span.begin(), span.end(), ref.begin()))
+        << "descendant span of chain " << c << " diverges from the DFS";
+    EXPECT_EQ(compiled.NumTransitiveDependents(c),
+              static_cast<int>(ref.size()));
+  }
+}
+
+TEST(ClosureIndex, CanonicalPlans) {
+  ExpectIndexMatchesReference(CompileSetup(TinyTwoSourceQuery()));
+  ExpectIndexMatchesReference(CompileSetup(ChainThreeSourceQuery()));
+  ExpectIndexMatchesReference(CompileSetup(PaperFigure5Query(0.01)));
+}
+
+TEST(ClosureIndex, RandomizedBushyPlans) {
+  for (const int num_sources : {3, 6, 11, 24, 48}) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      GeneratorConfig config;
+      config.num_sources = num_sources;
+      config.min_cardinality = 1000;
+      config.max_cardinality = 2000;
+      config.seed = seed * 131 + static_cast<uint64_t>(num_sources);
+      Result<QuerySetup> setup = GenerateBushyQuery(config);
+      ASSERT_TRUE(setup.ok()) << setup.status().ToString();
+      ExpectIndexMatchesReference(CompileSetup(*setup));
+    }
+  }
+}
+
+TEST(ClosureIndex, OptimizerShapedPlans) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    GeneratorConfig config;
+    config.num_sources = 9;
+    config.min_cardinality = 1000;
+    config.max_cardinality = 2000;
+    config.seed = seed;
+    Result<QuerySetup> setup = GenerateBushyQuery(config,
+                                                  /*use_optimizer=*/true);
+    ASSERT_TRUE(setup.ok()) << setup.status().ToString();
+    ExpectIndexMatchesReference(CompileSetup(*setup));
+  }
+}
+
+TEST(ClosureIndex, ValidateRejectsCorruption) {
+  CompiledPlan compiled = CompileSetup(PaperFigure5Query(0.01));
+  ASSERT_TRUE(compiled.ValidateClosureIndex().ok());
+
+  CompiledPlan swapped = compiled;
+  ASSERT_GE(swapped.anc_arena.size(), 1u);
+  swapped.anc_arena[0] =
+      static_cast<ChainId>((swapped.anc_arena[0] + 1) % swapped.num_chains());
+  EXPECT_FALSE(swapped.ValidateClosureIndex().ok());
+
+  CompiledPlan truncated = compiled;
+  truncated.anc_offset.pop_back();
+  EXPECT_FALSE(truncated.ValidateClosureIndex().ok());
+  EXPECT_FALSE(truncated.HasClosureIndex());
+}
+
+TEST(ClosureIndex, RebuildIsIdempotent) {
+  CompiledPlan compiled = CompileSetup(PaperFigure5Query(0.01));
+  const auto anc_offset = compiled.anc_offset;
+  const auto anc_arena = compiled.anc_arena;
+  const auto desc_offset = compiled.desc_offset;
+  const auto desc_arena = compiled.desc_arena;
+  compiled.BuildClosureIndex();
+  EXPECT_EQ(compiled.anc_offset, anc_offset);
+  EXPECT_EQ(compiled.anc_arena, anc_arena);
+  EXPECT_EQ(compiled.desc_offset, desc_offset);
+  EXPECT_EQ(compiled.desc_arena, desc_arena);
+}
+
+}  // namespace
+}  // namespace dqsched::plan

@@ -372,6 +372,22 @@ TEST_F(CommManagerTest, PopUnblocksSuspendedProducer) {
   EXPECT_EQ(manager_.Available(0, Microseconds(10070)), 16);
 }
 
+TEST_F(CommManagerTest, ZeroPushSuspensionBumpsSourceVersion) {
+  // 16 pushes fill the queue exactly; the producer is not yet suspended and
+  // still advertises a real next arrival.
+  EXPECT_EQ(manager_.Available(0, Microseconds(160)), 16);
+  EXPECT_EQ(manager_.NextArrival(0), Microseconds(170));
+  const uint64_t before = manager_.SourceVersion(0);
+  // The next pump delivers nothing — the window protocol suspends the
+  // producer on the full queue — yet it flips NextArrival to "never".
+  // Version-guarded arrival caches must observe that transition; a stale
+  // "arrival at 170 us" would be stalled on forever.
+  manager_.PumpAll(Microseconds(170));
+  EXPECT_EQ(manager_.queue(0).size(), 16);
+  EXPECT_EQ(manager_.NextArrival(0), kSimTimeNever);
+  EXPECT_NE(manager_.SourceVersion(0), before);
+}
+
 TEST_F(CommManagerTest, RemainingTuplesCountsQueueAndWrapper) {
   manager_.PumpAll(Microseconds(50));  // 5 delivered
   EXPECT_EQ(manager_.RemainingTuples(0), 100);

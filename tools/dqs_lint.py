@@ -16,6 +16,9 @@ Checks, over src/**:
   timeout-type   header fields named like durations (timeout/deadline/
                  cooldown/silence/backoff/stall) declared as naked integers
                  instead of SimDuration (plural event counters are exempt)
+  ancestors-index  CompiledPlan::Ancestors() (allocating DFS reference)
+                 called outside src/plan — hot paths must read the O(1)
+                 closure-index span AncestorsOf() instead
 
 Exits 0 when clean; prints findings as `path:line: [rule] message` and
 exits 1 otherwise.
@@ -201,6 +204,26 @@ def check_queue_push(path, rel, text):
             )
 
 
+def check_ancestors_index(path, rel, text):
+    """`x.Ancestors(c)` allocates a vector and walks the blocker DAG on
+    every call; Compile() flattens the transitive closure precisely so the
+    scheduler never pays that. Outside src/plan (which owns the reference
+    implementation and its validation) every call site must use the
+    AncestorsOf() span. The regex requires a member call, so free
+    functions and AncestorsOf itself do not match."""
+    if rel.parts[0] == "plan":
+        return
+    for i, line in enumerate(text.splitlines()):
+        if re.search(r"(?:\.|->)Ancestors\s*\(", line):
+            finding(
+                path,
+                i + 1,
+                "ancestors-index",
+                "CompiledPlan::Ancestors() outside src/plan; read the "
+                "closure-index span AncestorsOf() instead",
+            )
+
+
 DURATION_FIELD = re.compile(
     r"\b(?:u?int(?:8|16|32|64)_t|int|long(?:\s+long)?|unsigned|size_t)\s+"
     r"(\w*(?:timeout|deadline|cooldown|silence|backoff|stall)\w*)\s*"
@@ -251,6 +274,7 @@ def main():
         check_raw_abort(path, rel, stripped)
         check_using_std(path, stripped)
         check_queue_push(path, rel, stripped)
+        check_ancestors_index(path, rel, stripped)
 
     check_nodiscard(src / "common" / "status.h")
 
