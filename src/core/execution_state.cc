@@ -55,6 +55,7 @@ exec::FragmentSpec ExecutionState::BaseSpecFor(ChainId chain) const {
   spec.sink_join = info.sink_join;
   spec.origin_chain = chain;
   spec.async_io = options_.async_io;
+  spec.kernels = options_.kernels;
   return spec;
 }
 
@@ -146,6 +147,7 @@ int ExecutionState::Degrade(ChainId chain, exec::ExecContext& ctx) {
   spec.sink_temp = st.mf_temp;
   spec.origin_chain = chain;
   spec.async_io = options_.async_io;
+  spec.kernels = options_.kernels;
 
   FragmentSlot slot;
   slot.runtime = std::make_unique<FragmentRuntime>(
@@ -250,6 +252,7 @@ Status ExecutionState::SplitForMemory(ChainId chain, exec::ExecContext& ctx,
     spec.ops = std::move(drafts[i].ops);
     spec.origin_chain = chain;
     spec.async_io = base.async_io;
+    spec.kernels = base.kernels;
     if (i + 1 < drafts.size()) {
       spec.sink = SinkKind::kTemp;
       spec.sink_temp = ctx.temps.Create("split_" + spec.name);
@@ -307,6 +310,7 @@ int ExecutionState::CreateMaterializeAll(SourceId source,
   spec.sink = SinkKind::kTemp;
   spec.sink_temp = ctx.temps.Create(spec.name);
   spec.async_io = options_.async_io;
+  spec.kernels = options_.kernels;
   ma_temps_[static_cast<size_t>(source)] = spec.sink_temp;
 
   FragmentSlot slot;

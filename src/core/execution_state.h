@@ -21,6 +21,7 @@
 #include "exec/chain_executor.h"
 #include "exec/chain_source.h"
 #include "exec/exec_context.h"
+#include "exec/kernel_config.h"
 #include "core/trace.h"
 #include "exec/operand.h"
 #include "plan/compiled_plan.h"
@@ -42,6 +43,8 @@ struct ExecutionOptions {
   /// the invariant auditor then checks the memory accountant against this
   /// state's operands as a lower bound instead of an exact balance.
   bool shared_context = false;
+  /// Operator kernel selection, copied into every FragmentSpec.
+  exec::KernelConfig kernels;
 };
 
 /// All mutable execution state of one run.

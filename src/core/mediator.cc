@@ -195,6 +195,7 @@ Result<Mediator::TracedExecution> Mediator::ExecuteWithOptions(
 
   ExecutionOptions options = OptionsFor(kind);
   options.trace = trace;
+  options.kernels = config_.kernels;
   ExecutionState state(&compiled_, &ctx, options);
   StrategyConfig strategy = config_.strategy;
   if (config_.query_deadline > 0) {
@@ -230,7 +231,9 @@ Result<ExecutionMetrics> Mediator::ExecuteScrambling(
   SetupContext(ctx);
   // Scrambling shares DSE's asynchronous-I/O fragments (it also
   // materializes to overlap), but not its rate-driven planning.
-  ExecutionState state(&compiled_, &ctx, OptionsFor(StrategyKind::kDse));
+  ExecutionOptions options = OptionsFor(StrategyKind::kDse);
+  options.kernels = config_.kernels;
+  ExecutionState state(&compiled_, &ctx, options);
   ScramblingConfig scr;
   scr.timeout = timeout;
   scr.batch_size = config_.strategy.dqp.batch_size;

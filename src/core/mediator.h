@@ -15,6 +15,7 @@
 #include "core/trace.h"
 #include "core/metrics.h"
 #include "core/strategy.h"
+#include "exec/kernel_config.h"
 #include "plan/compiled_plan.h"
 #include "plan/plan_node.h"
 #include "plan/reference_executor.h"
@@ -42,6 +43,8 @@ struct MediatorConfig {
   /// Virtual-time budget for each execution (0 = unlimited). Expiry
   /// raises kDeadlineExceeded, resolved per StrategyConfig::fault.
   SimDuration query_deadline = 0;
+  /// Operator kernels (vectorized by default; scalar for A/B runs).
+  exec::KernelConfig kernels;
 };
 
 /// An integration query ready to execute.

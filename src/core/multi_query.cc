@@ -109,7 +109,9 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteSerial(
             static_cast<double>(config_.cost.MinWaitingTime()));
       }
     }
-    ExecutionState state(&q.compiled, &ctx, OptionsFor(strategy));
+    ExecutionOptions options = OptionsFor(strategy);
+    options.kernels = config_.kernels;
+    ExecutionState state(&q.compiled, &ctx, options);
     Result<ExecutionMetrics> metrics =
         RunStrategy(strategy, state, ctx, config_.strategy);
     if (!metrics.ok()) return metrics.status();
@@ -182,6 +184,7 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
     ExecutionOptions options = OptionsFor(strategy);
     options.result_override = run.result.get();
     options.shared_context = true;
+    options.kernels = config_.kernels;
     run.state = std::make_unique<ExecutionState>(
         &queries_[static_cast<size_t>(qi)].compiled, &ctx, options);
     run.dqs = std::make_unique<Dqs>(config_.strategy.dqs);

@@ -53,6 +53,8 @@ struct MultiQueryConfig {
   /// metrics; off by default to keep the baseline byte-identical
   /// (DESIGN.md §9).
   bool targeted_replans = false;
+  /// Operator kernels (vectorized by default; scalar for A/B runs).
+  exec::KernelConfig kernels;
 };
 
 /// Results of one multi-query execution.

@@ -1,5 +1,8 @@
 #include "exec/chain_executor.h"
 
+#include <cstddef>
+#include <utility>
+
 #include "common/macros.h"
 
 namespace dqsched::exec {
@@ -65,6 +68,18 @@ Result<int64_t> FragmentRuntime::ProcessBatch(ExecContext& ctx,
   }
   ++stats_.batches;
 
+  if (spec_.kernels.scalar) return ProcessBatchScalar(ctx, pop);
+  return ProcessBatchVectorized(ctx, pop);
+}
+
+// The original tuple-at-a-time kernels. Every simulated charge below is
+// the contract the vectorized path must reproduce exactly: scan and sink
+// moves on the batch boundary counts, a move per filter-input tuple, a
+// hash probe per probe-input tuple, a produced-result instruction per
+// match — all in canonical op order.
+// dqs-lint: begin-allow(kernel-push) — reference scalar kernels
+Result<int64_t> FragmentRuntime::ProcessBatchScalar(
+    ExecContext& ctx, const ChainSource::PopResult& pop) {
   int64_t instr = 0;
   // Receive cost: live network batches only (temp batches were received —
   // and charged — when they were first consumed by the materializer).
@@ -174,6 +189,197 @@ Result<int64_t> FragmentRuntime::ProcessBatch(ExecContext& ctx,
     case SinkKind::kResult:
       DQS_CHECK(result_ != nullptr);
       for (size_t i = 0; i < cur_n; ++i) result_->Add(cur[i]);
+      break;
+  }
+  stats_.produced += out_n;
+  // Asynchronously read input may land after the CPU work: wait for it.
+  ctx.clock.BusyUntil(pop.ready);
+  return pop.count;
+}
+// dqs-lint: end-allow(kernel-push)
+
+namespace {
+
+/// Grow-only sizing for a scratch tuple buffer: `resize` value-initializes
+/// only the new tail, and only when the high-water mark rises; the logical
+/// count is tracked by the caller, so no per-batch zero-fill happens.
+void GrowTuples(std::vector<storage::Tuple>* buf, int64_t n) {
+  if (static_cast<int64_t>(buf->size()) < n) {
+    buf->resize(static_cast<size_t>(n));
+  }
+}
+
+/// Probe software-pipelining distance: hash the whole batch first, then
+/// walk runs with the home slot of the i+kth probe prefetched while the
+/// ith run is scanned.
+constexpr uint32_t kProbePrefetchDistance = 8;
+
+}  // namespace
+
+FilterManager& FragmentRuntime::FilterRunAt(size_t start, size_t len) {
+  if (filter_runs_.empty()) filter_runs_.resize(spec_.ops.size());
+  std::unique_ptr<FilterManager>& slot = filter_runs_[start];
+  if (!slot) {
+    std::vector<plan::ChainOp> terms(
+        spec_.ops.begin() + static_cast<ptrdiff_t>(start),
+        spec_.ops.begin() + static_cast<ptrdiff_t>(start + len));
+    slot = std::make_unique<FilterManager>(std::move(terms),
+                                           spec_.kernels.adaptive_filters);
+  }
+  return *slot;
+}
+
+// Batch-at-a-time kernels. Filters refine a selection vector in place
+// (no intermediate materialization); probes run as a vectorized
+// hash+count pass followed by an expansion pass into a pre-sized buffer;
+// sinks take one contiguous span. Charges are accumulated against the
+// canonical op order with the exact counts the scalar kernels produce.
+Result<int64_t> FragmentRuntime::ProcessBatchVectorized(
+    ExecContext& ctx, const ChainSource::PopResult& pop) {
+  int64_t instr = 0;
+  // Receive cost: live network batches only (temp batches were received —
+  // and charged — when they were first consumed by the materializer).
+  if (!pop.from_temp && source_->remote_source() != kInvalidId) {
+    ctx.clock.Advance(ctx.net.ChargeReceive(source_->remote_source(),
+                                            pop.count));
+  }
+  // The scan's per-tuple move.
+  instr += pop.count * ctx.cost->instr_move_tuple;
+
+  const storage::Tuple* cur = in_buf_.data();
+  int64_t cur_n = pop.count;
+  sel_.Resize(static_cast<uint32_t>(pop.count));
+  sel_.AddAll();
+  std::vector<storage::Tuple>* out = &work_a_;
+  std::vector<storage::Tuple>* spare = &work_b_;
+
+  const size_t first_op =
+      pop.from_temp ? static_cast<size_t>(spec_.temp_skip_ops) : 0;
+  size_t oi = first_op;
+  while (oi < spec_.ops.size()) {
+    const plan::ChainOp& op = spec_.ops[oi];
+    if (op.kind == plan::ChainOpKind::kFilter) {
+      // A run of consecutive filters shares one FilterManager; each term's
+      // canonical input count charges a move per tuple, exactly like the
+      // scalar kernels (fused or not).
+      size_t run_len = 1;
+      while (oi + run_len < spec_.ops.size() &&
+             spec_.ops[oi + run_len].kind == plan::ChainOpKind::kFilter) {
+        ++run_len;
+      }
+      filter_charges_.clear();
+      FilterRunAt(oi, run_len).Run(cur, &sel_, &filter_charges_);
+      for (int64_t c : filter_charges_) instr += c * ctx.cost->instr_move_tuple;
+      oi += run_len;
+      continue;
+    }
+
+    // kProbe.
+    const Operand& operand = operands_->Get(op.join);
+    DQS_CHECK_MSG(operand.loaded(), "probe of unloaded operand %s by %s",
+                  operand.name().c_str(), name().c_str());
+    const auto& tuples = operand.tuples();
+    const HashIndex& index = operand.index();
+    const size_t key_field = static_cast<size_t>(op.probe_key_field);
+
+    const uint32_t n_sel = sel_.Count();
+    instr += static_cast<int64_t>(n_sel) * ctx.cost->instr_hash_probe;
+    if (sel_ids_.size() < n_sel) {
+      sel_ids_.resize(n_sel);
+      probe_keys_.resize(n_sel);
+      probe_homes_.resize(n_sel);
+      match_counts_.resize(n_sel);
+    }
+    // With a full selection the ids are the identity — probe `cur`
+    // directly instead of materializing 0..n-1.
+    const uint32_t* ids = nullptr;
+    if (!sel_.Full()) {
+      sel_.Materialize(sel_ids_.data());
+      ids = sel_ids_.data();
+    }
+
+    // Pass 1: gather keys and hash every probe up front, then resolve each
+    // probe to (first-match slot, duplicate count) with the prefetcher
+    // running kProbePrefetchDistance probes ahead — the branchy run walk
+    // no longer stalls on the home-slot load, and it stops at the first
+    // hit because the build stored the duplicate count there.
+    for (uint32_t i = 0; i < n_sel; ++i) {
+      const int64_t k = cur[ids ? ids[i] : i].keys[key_field];
+      probe_keys_[i] = k;
+      probe_homes_[i] = index.HomeSlot(k);
+    }
+    const uint32_t warm =
+        n_sel < kProbePrefetchDistance ? n_sel : kProbePrefetchDistance;
+    for (uint32_t i = 0; i < warm; ++i) index.PrefetchSlot(probe_homes_[i]);
+    int64_t total_matches = 0;
+    for (uint32_t i = 0; i < n_sel; ++i) {
+      if (i + kProbePrefetchDistance < n_sel) {
+        index.PrefetchSlot(probe_homes_[i + kProbePrefetchDistance]);
+      }
+      const uint64_t first =
+          index.FindFirstMatchFrom(probe_homes_[i], probe_keys_[i]);
+      probe_homes_[i] = first;  // reused: pass 2 expands from here
+      const uint32_t c =
+          first == HashIndex::kNoMatch ? 0 : index.MatchCountAt(first);
+      match_counts_[i] = c;
+      total_matches += c;
+    }
+    instr += total_matches * ctx.cost->instr_produce_result;
+
+    // Pass 2: expand matches into a buffer pre-sized from the counts; the
+    // walk order per probe matches ForEachMatch (ascending run positions)
+    // and stops after exactly match_counts_[i] hits, so output order is
+    // byte-identical to the scalar kernels with no wasted tail walk.
+    GrowTuples(out, total_matches);
+    storage::Tuple* dst = out->data();
+    int64_t off = 0;
+    for (uint32_t i = 0; i < n_sel; ++i) {
+      if (match_counts_[i] == 0) continue;
+      const storage::Tuple& t = cur[ids ? ids[i] : i];
+      index.ForEachMatchFromN(probe_homes_[i], probe_keys_[i],
+                              match_counts_[i], [&](size_t idx) {
+                                storage::Tuple r = t;  // probe side carries
+                                r.rowid = storage::CombineRowid(
+                                    tuples[idx].rowid, t.rowid);
+                                dst[off++] = r;
+                              });
+    }
+    DQS_CHECK_MSG(off == total_matches, "probe expansion wrote %lld of %lld",
+                  static_cast<long long>(off),
+                  static_cast<long long>(total_matches));
+    cur = dst;
+    cur_n = total_matches;
+    sel_.Resize(static_cast<uint32_t>(total_matches));
+    sel_.AddAll();
+    std::swap(out, spare);
+    ++oi;
+  }
+
+  // Sink delivery. Trailing filters leave a partial selection; compact it
+  // once so every sink receives one contiguous span (the common filterless
+  // tail is zero-copy).
+  int64_t out_n = cur_n;
+  if (!sel_.Full()) {
+    out_n = sel_.Count();
+    GrowTuples(out, out_n);
+    storage::Tuple* dst = out->data();
+    int64_t k = 0;
+    sel_.ForEach([&](uint32_t id) { dst[k++] = cur[id]; });
+    cur = dst;
+  }
+  instr += out_n * ctx.cost->instr_move_tuple;
+  ctx.ChargeInstr(instr);
+  switch (spec_.sink) {
+    case SinkKind::kOperand:
+      operands_->Get(spec_.sink_join).Append(ctx, cur, out_n,
+                                             spec_.async_io);
+      break;
+    case SinkKind::kTemp:
+      ctx.temps.Append(spec_.sink_temp, cur, out_n, spec_.async_io);
+      break;
+    case SinkKind::kResult:
+      DQS_CHECK(result_ != nullptr);
+      result_->AddBatch(cur, out_n);
       break;
   }
   stats_.produced += out_n;

@@ -18,7 +18,10 @@
 #include "common/status.h"
 #include "exec/chain_source.h"
 #include "exec/exec_context.h"
+#include "exec/filter_manager.h"
+#include "exec/kernel_config.h"
 #include "exec/operand.h"
+#include "exec/tuple_id_list.h"
 #include "plan/compiled_plan.h"
 
 namespace dqsched::exec {
@@ -47,6 +50,8 @@ struct FragmentSpec {
   ChainId origin_chain = kInvalidId;
   /// Asynchronous disk I/O for this fragment's temp writes/reads.
   bool async_io = true;
+  /// Operator kernel selection (vectorized vs scalar, filter adaptivity).
+  KernelConfig kernels;
 };
 
 /// Per-fragment execution statistics.
@@ -127,6 +132,19 @@ class FragmentRuntime {
   std::unique_ptr<ChainSource> TakeSource();
 
  private:
+  /// The pre-vectorization tuple-at-a-time kernels, kept verbatim as the
+  /// equivalence oracle (spec_.kernels.scalar) and the benchmark baseline.
+  Result<int64_t> ProcessBatchScalar(ExecContext& ctx,
+                                     const ChainSource::PopResult& pop);
+  /// Batch-at-a-time kernels: selection-vector filters, two-pass probes,
+  /// bulk sink delivery. Simulated charges are byte-identical to scalar.
+  Result<int64_t> ProcessBatchVectorized(ExecContext& ctx,
+                                         const ChainSource::PopResult& pop);
+  /// The FilterManager for the run of `len` consecutive filter ops
+  /// starting at ops[start]; created on first use, persistent across
+  /// batches so its selectivity/cost observations accumulate.
+  FilterManager& FilterRunAt(size_t start, size_t len);
+
   FragmentSpec spec_;
   std::unique_ptr<ChainSource> source_;
   OperandRegistry* operands_;
@@ -134,10 +152,20 @@ class FragmentRuntime {
   bool opened_ = false;
   bool closed_ = false;
   FragmentStats stats_;
-  /// Scratch buffers reused across batches.
+  /// Scratch buffers reused across batches. The work buffers are grow-only
+  /// and carry stale tails; kernels track logical counts explicitly.
   std::vector<storage::Tuple> in_buf_;
   std::vector<storage::Tuple> work_a_;
   std::vector<storage::Tuple> work_b_;
+  /// Vectorized-kernel scratch (grow-only, reused across batches).
+  TupleIdList sel_;
+  std::vector<uint32_t> sel_ids_;
+  std::vector<int64_t> probe_keys_;
+  std::vector<uint64_t> probe_homes_;
+  std::vector<uint32_t> match_counts_;
+  std::vector<int64_t> filter_charges_;
+  /// One FilterManager per filter-run start index (lazily created).
+  std::vector<std::unique_ptr<FilterManager>> filter_runs_;
 };
 
 }  // namespace dqsched::exec

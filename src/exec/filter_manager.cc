@@ -1,0 +1,145 @@
+#include "exec/filter_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/macros.h"
+
+namespace dqsched::exec {
+namespace {
+
+// EWMA smoothing for observed selectivity and per-tuple cost. Heavier
+// weight on history keeps the order stable under noisy small batches.
+constexpr double kEwmaAlpha = 0.3;
+
+}  // namespace
+
+FilterManager::FilterManager(std::vector<plan::ChainOp> terms, bool adaptive)
+    : terms_(std::move(terms)), adaptive_(adaptive) {
+  stats_.resize(terms_.size());
+  order_.resize(terms_.size());
+  bitmaps_.resize(terms_.size());
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    DQS_CHECK_MSG(terms_[t].kind == plan::ChainOpKind::kFilter,
+                  "non-filter op %zu handed to FilterManager", t);
+    stats_[t].ewma_selectivity = terms_[t].selectivity;
+    order_[t] = t;
+  }
+  Rerank();
+}
+
+void FilterManager::Rerank() {
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&](size_t a, size_t b) {
+                     const double ra =
+                         stats_[a].ewma_selectivity * stats_[a].ewma_cost_ns;
+                     const double rb =
+                         stats_[b].ewma_selectivity * stats_[b].ewma_cost_ns;
+                     if (ra != rb) return ra < rb;
+                     return a < b;  // canonical order breaks ties
+                   });
+}
+
+void FilterManager::Run(const storage::Tuple* tuples, TupleIdList* sel,
+                        std::vector<int64_t>* charges) {
+  if (terms_.empty()) return;
+  if (!adaptive_ || terms_.size() == 1 || sel->Empty()) {
+    RunCanonical(tuples, sel, charges);
+    return;
+  }
+  RunPermuted(tuples, sel, charges);
+}
+
+void FilterManager::RunCanonical(const storage::Tuple* tuples,
+                                 TupleIdList* sel,
+                                 std::vector<int64_t>* charges) {
+  for (const plan::ChainOp& term : terms_) {
+    charges->push_back(sel->Count());  // dqs-lint: allow(kernel-push) per-term
+    sel->Refine([&](uint32_t id) {
+      return storage::FilterPasses(tuples[id].rowid, term.node,
+                                   term.selectivity);
+    });
+  }
+}
+
+void FilterManager::RunPermuted(const storage::Tuple* tuples,
+                                TupleIdList* sel,
+                                std::vector<int64_t>* charges) {
+  const uint32_t cap = sel->capacity();
+  const size_t n = terms_.size();
+  const size_t words = sel->NumWords();
+  for (size_t t = 0; t < n; ++t) bitmaps_[t].Resize(cap);
+
+  for (size_t r = 0; r < n; ++r) {
+    const size_t t = order_[r];
+    // Word-skip mask: the AND of already-evaluated terms that canonically
+    // precede t. Bits dead in that AND cannot survive any prefix AND that
+    // includes term t, so skipping them never changes a canonical count.
+    preds_.clear();
+    for (size_t e = 0; e < r; ++e) {
+      if (order_[e] < t) {
+        preds_.push_back(&bitmaps_[order_[e]]);  // dqs-lint: allow(kernel-push) per-term
+      }
+    }
+    const plan::ChainOp& term = terms_[t];
+    TupleIdList::Word* out_words = bitmaps_[t].mutable_words();
+    int64_t evaluated = 0;
+    int64_t passed = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t w = 0; w < words; ++w) {
+      TupleIdList::Word m = sel->words()[w];
+      for (const TupleIdList* p : preds_) m &= p->words()[w];
+      if (m == 0) {
+        out_words[w] = 0;
+        continue;
+      }
+      const uint32_t base =
+          static_cast<uint32_t>(w) * TupleIdList::kBitsPerWord;
+      TupleIdList::Word out = 0;
+      while (m != 0) {
+        const uint32_t bit = TupleIdList::CountTrailingZeros(m);
+        m &= m - 1;
+        ++evaluated;
+        if (storage::FilterPasses(tuples[base + bit].rowid, term.node,
+                                  term.selectivity)) {
+          out |= TupleIdList::Word{1} << bit;
+          ++passed;
+        }
+      }
+      out_words[w] = out;
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    bitmaps_[t].RecountAfterWordEdit();
+
+    if (evaluated > 0) {
+      const double obs_sel =
+          static_cast<double>(passed) / static_cast<double>(evaluated);
+      const double obs_cost =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()) /
+          static_cast<double>(evaluated);
+      TermStats& st = stats_[t];
+      st.ewma_selectivity =
+          kEwmaAlpha * obs_sel + (1.0 - kEwmaAlpha) * st.ewma_selectivity;
+      st.ewma_cost_ns = st.batches == 0
+                            ? obs_cost
+                            : kEwmaAlpha * obs_cost +
+                                  (1.0 - kEwmaAlpha) * st.ewma_cost_ns;
+      ++st.batches;
+    }
+  }
+
+  // Canonical charges: popcounts of the canonical-order prefix ANDs.
+  acc_.Resize(cap);
+  acc_.AssignFrom(*sel);
+  for (size_t t = 0; t < n; ++t) {
+    charges->push_back(acc_.Count());  // dqs-lint: allow(kernel-push) per-term
+    acc_.IntersectWith(bitmaps_[t]);
+  }
+  sel->AssignFrom(acc_);
+
+  Rerank();
+}
+
+}  // namespace dqsched::exec

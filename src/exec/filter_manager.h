@@ -1,0 +1,86 @@
+// Adaptive multi-term filter evaluation over a selection vector.
+//
+// A chain with several consecutive filter operators gives the kernel a
+// choice of evaluation order. The FilterManager observes each term's
+// actual selectivity and per-tuple host cost (EWMA over batches) and
+// evaluates terms cheapest-most-selective first — the classic
+// selectivity×cost ranking — so the host spends the least wall time per
+// batch. The *simulated* charges are a determinism contract, though: the
+// scalar executor charges every filter `n_i × instr_move_tuple` where n_i
+// is the term's input cardinality in canonical (plan) order, and every
+// non-wall metric must stay byte-identical no matter what order the host
+// evaluated in. See DESIGN §10 for the two modes:
+//
+//   * canonical mode (adaptivity off, or a single term): terms run in plan
+//     order against the shrinking selection; the canonical prefix counts
+//     fall out of the evaluation itself.
+//   * permuted dense mode: each term is evaluated as an independent bitmap
+//     over the run's input selection, in rank order; the final selection
+//     is the intersection, and the canonical prefix counts are recovered
+//     from popcounts of the canonical-order prefix ANDs. A term may skip
+//     words that are zero in the AND of its *canonically preceding*,
+//     already-evaluated terms (those bits cannot survive the prefix AND
+//     it participates in), which restores most of short-circuiting's
+//     savings without breaking the contract.
+//
+// Adaptive decisions read the host clock — that is safe precisely because
+// they only pick the evaluation order, never the charges or the final
+// selection (filters are pure predicates on tuple provenance).
+
+#ifndef DQSCHED_EXEC_FILTER_MANAGER_H_
+#define DQSCHED_EXEC_FILTER_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/tuple_id_list.h"
+#include "plan/compiled_plan.h"
+#include "storage/tuple.h"
+
+namespace dqsched::exec {
+
+/// Runs one chain's contiguous run of filter terms over a batch.
+class FilterManager {
+ public:
+  /// `terms` are the run's filter ops in canonical (plan) order; every
+  /// entry must be a kFilter. `adaptive` enables permuted evaluation.
+  FilterManager(std::vector<plan::ChainOp> terms, bool adaptive);
+
+  /// Refines `sel` (over tuples[0..sel->capacity())) to the tuples that
+  /// pass every term, and appends each term's canonical-order input count
+  /// — the scalar executor's per-filter charge basis — to `charges`.
+  void Run(const storage::Tuple* tuples, TupleIdList* sel,
+           std::vector<int64_t>* charges);
+
+  size_t num_terms() const { return terms_.size(); }
+
+  /// Current rank order (term indices, cheapest-most-selective first);
+  /// exposed for tests and the microbenchmark.
+  const std::vector<size_t>& order() const { return order_; }
+
+ private:
+  struct TermStats {
+    double ewma_selectivity = 0.5;  // seeded from the plan estimate
+    double ewma_cost_ns = 1.0;      // host ns per evaluated tuple
+    int64_t batches = 0;
+  };
+
+  void RunCanonical(const storage::Tuple* tuples, TupleIdList* sel,
+                    std::vector<int64_t>* charges);
+  void RunPermuted(const storage::Tuple* tuples, TupleIdList* sel,
+                   std::vector<int64_t>* charges);
+  void Rerank();
+
+  std::vector<plan::ChainOp> terms_;
+  bool adaptive_;
+  std::vector<TermStats> stats_;
+  std::vector<size_t> order_;  // rank order over term indices
+  // Scratch reused across batches (grow-only).
+  std::vector<TupleIdList> bitmaps_;
+  TupleIdList acc_;
+  std::vector<const TupleIdList*> preds_;
+};
+
+}  // namespace dqsched::exec
+
+#endif  // DQSCHED_EXEC_FILTER_MANAGER_H_

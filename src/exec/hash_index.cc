@@ -19,14 +19,29 @@ int64_t HashIndex::EstimateBytes(int64_t n) {
 void HashIndex::Build(const std::vector<storage::Tuple>& tuples, int field) {
   DQS_CHECK_MSG(field >= 0 && field < storage::kTupleKeyFields,
                 "bad key field %d", field);
+  DQS_CHECK_MSG(tuples.size() < (uint64_t{1} << 31),
+                "hash index capped at 2^31 entries (32-bit slot index)");
   slots_.assign(SlotCountFor(static_cast<int64_t>(tuples.size())), Slot{});
   const uint64_t mask = slots_.size() - 1;
   for (size_t i = 0; i < tuples.size(); ++i) {
     const int64_t key = tuples[i].keys[static_cast<size_t>(field)];
     uint64_t pos = storage::Mix64(static_cast<uint64_t>(key)) & mask;
-    while (slots_[pos].index >= 0) pos = (pos + 1) & mask;
+    // The insertion walk passes every earlier entry of its run, so the
+    // key's first occurrence (if any) is seen on the way to the empty
+    // slot; its `count` accumulates the duplicate total the vectorized
+    // probe's count pass reads in O(1).
+    uint64_t first = kNoMatch;
+    while (slots_[pos].index >= 0) {
+      if (first == kNoMatch && slots_[pos].key == key) first = pos;
+      pos = (pos + 1) & mask;
+    }
     slots_[pos].key = key;
-    slots_[pos].index = static_cast<int64_t>(i);
+    slots_[pos].index = static_cast<int32_t>(i);
+    if (first == kNoMatch) {
+      slots_[pos].count = 1;
+    } else {
+      ++slots_[first].count;
+    }
   }
   entries_ = static_cast<int64_t>(tuples.size());
   built_ = true;

@@ -50,6 +50,60 @@ class HashIndex {
 #endif
   }
 
+  /// `key`'s home slot position — the hash half of a probe, split out so a
+  /// vectorized kernel can hash a whole batch (issuing prefetches) before
+  /// walking any run. Only valid while the index is built and non-empty.
+  uint64_t HomeSlot(int64_t key) const {
+    return storage::Mix64(static_cast<uint64_t>(key)) & (slots_.size() - 1);
+  }
+
+  /// Hints the cache to load slot `pos` (a HomeSlot result).
+  void PrefetchSlot(uint64_t pos) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[pos]);
+#else
+    (void)pos;
+#endif
+  }
+
+  /// No-match sentinel for FindFirstMatchFrom.
+  static constexpr uint64_t kNoMatch = ~uint64_t{0};
+
+  /// Walks the run from `pos` (key's HomeSlot) and returns the position of
+  /// the first entry matching `key`, or kNoMatch. The hash+count pass of a
+  /// two-pass vectorized probe stops here: the first occurrence's slot
+  /// carries the build-time duplicate count, so the pass never walks past
+  /// the first hit.
+  uint64_t FindFirstMatchFrom(uint64_t pos, int64_t key) const {
+    const uint64_t mask = slots_.size() - 1;
+    while (slots_[pos].index >= 0) {
+      if (slots_[pos].key == key) return pos;
+      pos = (pos + 1) & mask;
+    }
+    return kNoMatch;
+  }
+
+  /// Number of entries sharing the key of the entry at `pos`. Only valid
+  /// when `pos` is a FindFirstMatchFrom result (the first occurrence of
+  /// its key — later duplicates carry 0).
+  uint32_t MatchCountAt(uint64_t pos) const { return slots_[pos].count; }
+
+  /// Invokes fn(size_t index) for exactly `n` matches of `key`, walking
+  /// the run from `pos` (a FindFirstMatchFrom result) in the same order as
+  /// ForEachMatch and stopping as soon as the n-th match is collected.
+  template <typename Fn>
+  void ForEachMatchFromN(uint64_t pos, int64_t key, uint32_t n,
+                         Fn&& fn) const {
+    const uint64_t mask = slots_.size() - 1;
+    while (n > 0) {
+      if (slots_[pos].key == key && slots_[pos].index >= 0) {
+        fn(static_cast<size_t>(slots_[pos].index));
+        --n;
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+
   int64_t entry_count() const { return entries_; }
   bool built() const { return built_; }
 
@@ -73,7 +127,8 @@ class HashIndex {
  private:
   struct Slot {
     int64_t key = 0;
-    int64_t index = -1;  // -1 = empty
+    int32_t index = -1;   // -1 = empty
+    uint32_t count = 0;   // duplicate count, on the key's first occurrence
   };
   static_assert(sizeof(Slot) == 16, "slot layout drives memory accounting");
 

@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "exec/hash_index.h"
+#include "exec/tuple_id_list.h"
 
 namespace dqsched::plan {
 
@@ -22,6 +23,13 @@ ReferenceResult ExecuteReference(const CompiledPlan& compiled,
   std::vector<exec::HashIndex> indexes(
       static_cast<size_t>(compiled.num_joins));
 
+  // The oracle runs the same batch-at-a-time kernels as the executor —
+  // selection-vector filters and two-pass probes — just over whole
+  // relations instead of batches, with no charging.
+  exec::TupleIdList sel;
+  std::vector<uint64_t> homes;
+  std::vector<uint32_t> counts;
+
   for (ChainId id : compiled.IteratorModelOrder()) {
     const ChainInfo& chain = compiled.chain(id);
     DQS_CHECK_MSG(static_cast<size_t>(chain.source) < data.size(),
@@ -35,31 +43,50 @@ ReferenceResult ExecuteReference(const CompiledPlan& compiled,
     for (const ChainOp& op : chain.ops) {
       std::vector<Tuple> next;
       switch (op.kind) {
-        case ChainOpKind::kFilter:
-          next.reserve(cur.size());
-          for (const Tuple& t : cur) {
-            if (storage::FilterPasses(t.rowid, op.node, op.selectivity)) {
-              next.push_back(t);
-            }
-          }
+        case ChainOpKind::kFilter: {
+          sel.Resize(static_cast<uint32_t>(cur.size()));
+          sel.AddAll();
+          sel.Refine([&](uint32_t i) {
+            return storage::FilterPasses(cur[i].rowid, op.node,
+                                         op.selectivity);
+          });
+          next.reserve(sel.Count());
+          sel.ForEach([&](uint32_t i) { next.push_back(cur[i]); });
           break;
+        }
         case ChainOpKind::kProbe: {
           const auto& operand = operands[static_cast<size_t>(op.join)];
           const auto& index = indexes[static_cast<size_t>(op.join)];
-          next.reserve(cur.size());
-          for (size_t i = 0; i < cur.size(); ++i) {
-            if (i + 1 < cur.size()) {
-              index.Prefetch(
-                  cur[i + 1].keys[static_cast<size_t>(op.probe_key_field)]);
-            }
+          const size_t key_field =
+              static_cast<size_t>(op.probe_key_field);
+          const size_t n = cur.size();
+          homes.resize(n);
+          counts.resize(n);
+          // Pass 1: hash + first-match slots carrying duplicate counts.
+          int64_t total = 0;
+          for (size_t i = 0; i < n; ++i) {
+            const int64_t key = cur[i].keys[key_field];
+            const uint64_t home = index.HomeSlot(key);
+            index.PrefetchSlot(home);
+            homes[i] = index.FindFirstMatchFrom(home, key);
+            counts[i] = homes[i] == exec::HashIndex::kNoMatch
+                            ? 0
+                            : index.MatchCountAt(homes[i]);
+            total += counts[i];
+          }
+          // Pass 2: expansion at precomputed size.
+          next.resize(static_cast<size_t>(total));
+          size_t off = 0;
+          for (size_t i = 0; i < n; ++i) {
+            if (counts[i] == 0) continue;
             const Tuple& t = cur[i];
-            const int64_t key =
-                t.keys[static_cast<size_t>(op.probe_key_field)];
-            index.ForEachMatch(key, [&](size_t match) {
-              Tuple r = t;  // probe-side fields carry through
-              r.rowid = storage::CombineRowid(operand[match].rowid, t.rowid);
-              next.push_back(r);
-            });
+            index.ForEachMatchFromN(
+                homes[i], t.keys[key_field], counts[i], [&](size_t match) {
+                  Tuple r = t;  // probe-side fields carry through
+                  r.rowid = storage::CombineRowid(operand[match].rowid,
+                                                  t.rowid);
+                  next[off++] = r;
+                });
           }
           break;
         }

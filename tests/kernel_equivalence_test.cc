@@ -1,0 +1,206 @@
+// Scalar-vs-vectorized kernel determinism: the batch-at-a-time kernels
+// (selection vectors, two-pass probes, bulk sinks, adaptive filter
+// reordering) must produce ExecutionMetrics byte-identical to the
+// tuple-at-a-time reference kernels on every non-wall field — DESIGN §10's
+// canonical-charge-order contract. Every strategy runs the paper's
+// fig6/fig7 setups plus a stacked-multi-filter variant (the only shape
+// where the FilterManager may actually permute) under rate drift, in
+// three kernel modes: scalar, vectorized with adaptive filters, and
+// vectorized with canonical-order filters.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/mediator.h"
+#include "exec/filter_manager.h"
+#include "plan/canonical_plans.h"
+
+namespace dqsched::core {
+namespace {
+
+enum class Setup { kFig6SlowA, kFig7SlowF, kStackedFiltersSlowA };
+enum class Kernels { kScalar, kVectorized, kVectorizedCanonical };
+
+MediatorConfig BaseConfig(Kernels kernels) {
+  MediatorConfig config;
+  config.memory_budget_bytes = 64LL * 1024 * 1024;
+  config.seed = 7;
+  config.kernels.scalar = kernels == Kernels::kScalar;
+  config.kernels.adaptive_filters = kernels == Kernels::kVectorized;
+  return config;
+}
+
+// The fig5 query with filter stacks on A (build side of J1: a trailing
+// two-term run delivered to an operand sink) and C (probe side of J5: a
+// three-term run feeding a probe, the scalar kernels' fusion path). Multi-
+// term runs are what lets the adaptive FilterManager permute.
+plan::QuerySetup StackedFilterSetup(double scale) {
+  plan::QuerySetup q = plan::PaperFigure5Query(scale);
+  plan::Plan p;
+  const NodeId scan_a = p.AddScan(0);
+  const NodeId scan_b = p.AddScan(1);
+  const NodeId scan_c = p.AddScan(2);
+  const NodeId scan_d = p.AddScan(3);
+  const NodeId scan_e = p.AddScan(4);
+  const NodeId scan_f = p.AddScan(5);
+  NodeId a = p.AddFilter(scan_a, 0.85);
+  a = p.AddFilter(a, 0.6);
+  NodeId c = p.AddFilter(scan_c, 0.9);
+  c = p.AddFilter(c, 0.45);
+  c = p.AddFilter(c, 0.7);
+  const NodeId j1 = p.AddHashJoin(a, scan_b, /*build_field=*/0,
+                                  /*probe_field=*/0);
+  const NodeId j2 = p.AddHashJoin(j1, scan_f, /*build_field=*/1,
+                                  /*probe_field=*/0);
+  const NodeId j3 = p.AddHashJoin(scan_e, scan_d, /*build_field=*/0,
+                                  /*probe_field=*/0);
+  const NodeId j4 = p.AddHashJoin(j2, j3, /*build_field=*/1,
+                                  /*probe_field=*/1);
+  const NodeId j5 = p.AddHashJoin(j4, c, /*build_field=*/2,
+                                  /*probe_field=*/0);
+  p.SetRoot(j5);
+  EXPECT_TRUE(p.Validate(q.catalog).ok());
+  q.plan = std::move(p);
+  return q;
+}
+
+Mediator MakeMediator(Setup which, Kernels kernels) {
+  // 5% scale, one slowed relation: rate drift triggers replanning (and on
+  // the stacked setup, degradation of a chain with leading filters, so the
+  // partial-run path through temp_skip_ops executes too).
+  plan::QuerySetup setup = which == Setup::kStackedFiltersSlowA
+                               ? StackedFilterSetup(/*scale=*/0.05)
+                               : plan::PaperFigure5Query(/*scale=*/0.05);
+  const size_t slowed = which == Setup::kFig7SlowF ? 5 : 0;  // F or A
+  setup.catalog.sources[slowed].delay.mean_us *= 8.0;
+  Result<Mediator> m = Mediator::Create(std::move(setup.catalog),
+                                        std::move(setup.plan),
+                                        BaseConfig(kernels));
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  return std::move(m.value());
+}
+
+void ExpectIdentical(const ExecutionMetrics& a, const ExecutionMetrics& b,
+                     const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.response_time, b.response_time);
+  EXPECT_EQ(a.busy_time, b.busy_time);
+  EXPECT_EQ(a.stalled_time, b.stalled_time);
+  EXPECT_EQ(a.result_count, b.result_count);
+  EXPECT_EQ(a.result_checksum, b.result_checksum);
+  EXPECT_EQ(a.planning_phases, b.planning_phases);
+  EXPECT_EQ(a.execution_phases, b.execution_phases);
+  EXPECT_EQ(a.degradations, b.degradations);
+  EXPECT_EQ(a.cf_activations, b.cf_activations);
+  EXPECT_EQ(a.dqo_splits, b.dqo_splits);
+  EXPECT_EQ(a.operand_spills, b.operand_spills);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.rate_change_events, b.rate_change_events);
+  EXPECT_EQ(a.peak_memory_bytes, b.peak_memory_bytes);
+  EXPECT_EQ(a.disk.pages_read, b.disk.pages_read);
+  EXPECT_EQ(a.disk.pages_written, b.disk.pages_written);
+  EXPECT_EQ(a.disk.positionings, b.disk.positionings);
+  EXPECT_EQ(a.disk.io_calls, b.disk.io_calls);
+  EXPECT_EQ(a.disk.busy, b.disk.busy);
+  EXPECT_EQ(a.network.tuples_received, b.network.tuples_received);
+  EXPECT_EQ(a.network.messages_received, b.network.messages_received);
+  EXPECT_EQ(a.network.receive_cpu, b.network.receive_cpu);
+  EXPECT_EQ(a.temps.temps_created, b.temps.temps_created);
+  EXPECT_EQ(a.temps.tuples_written, b.temps.tuples_written);
+  EXPECT_EQ(a.temps.tuples_read, b.temps.tuples_read);
+  EXPECT_EQ(a.temps.cache_served_reads, b.temps.cache_served_reads);
+}
+
+// Direct check of the FilterManager contract: the adaptive mode really
+// permutes (the low-selectivity term is evaluated first regardless of
+// canonical position), while the final selection and the per-term charge
+// counts match a canonical-order evaluation exactly.
+TEST(FilterManagerContract, PermutedModeMatchesCanonicalCountsExactly) {
+  constexpr uint32_t kN = 5000;
+  std::vector<storage::Tuple> tuples(kN);
+  for (uint32_t i = 0; i < kN; ++i) {
+    tuples[i].rowid = storage::Mix64(i + 1);
+  }
+  auto make_term = [](NodeId node, double sel) {
+    plan::ChainOp op;
+    op.kind = plan::ChainOpKind::kFilter;
+    op.node = node;
+    op.selectivity = sel;
+    return op;
+  };
+  // Canonical order: permissive (0.9), selective (0.1), middling (0.5).
+  const std::vector<plan::ChainOp> terms = {make_term(11, 0.9),
+                                            make_term(12, 0.1),
+                                            make_term(13, 0.5)};
+  exec::FilterManager adaptive(terms, /*adaptive=*/true);
+  exec::FilterManager canonical(terms, /*adaptive=*/false);
+  EXPECT_EQ(adaptive.order()[0], 1u);  // most selective term ranks first
+
+  for (int batch = 0; batch < 4; ++batch) {
+    exec::TupleIdList sel_a;
+    exec::TupleIdList sel_c;
+    sel_a.Resize(kN);
+    sel_a.AddAll();
+    sel_c.Resize(kN);
+    sel_c.AddAll();
+    std::vector<int64_t> charges_a;
+    std::vector<int64_t> charges_c;
+    adaptive.Run(tuples.data(), &sel_a, &charges_a);
+    canonical.Run(tuples.data(), &sel_c, &charges_c);
+    EXPECT_EQ(charges_a, charges_c) << "batch " << batch;
+    ASSERT_EQ(charges_a.size(), 3u);
+    EXPECT_EQ(charges_a[0], static_cast<int64_t>(kN));
+    EXPECT_EQ(sel_a.Count(), sel_c.Count());
+    sel_a.IntersectWith(sel_c);
+    EXPECT_EQ(sel_a.Count(), sel_c.Count());  // identical selections
+  }
+}
+
+class KernelEquivalence : public ::testing::TestWithParam<Setup> {};
+
+TEST_P(KernelEquivalence, AllStrategiesIdenticalAcrossKernelModes) {
+  Mediator scalar = MakeMediator(GetParam(), Kernels::kScalar);
+  Mediator vec = MakeMediator(GetParam(), Kernels::kVectorized);
+  Mediator canon = MakeMediator(GetParam(), Kernels::kVectorizedCanonical);
+  EXPECT_EQ(scalar.reference().checksum.value(),
+            vec.reference().checksum.value());
+
+  for (StrategyKind kind :
+       {StrategyKind::kSeq, StrategyKind::kDse, StrategyKind::kMa}) {
+    Result<ExecutionMetrics> rs = scalar.Execute(kind);
+    Result<ExecutionMetrics> rv = vec.Execute(kind);
+    Result<ExecutionMetrics> rc = canon.Execute(kind);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    ASSERT_TRUE(rv.ok()) << rv.status().ToString();
+    ASSERT_TRUE(rc.ok()) << rc.status().ToString();
+    ExpectIdentical(*rs, *rv, StrategyName(kind));
+    ExpectIdentical(*rs, *rc, StrategyName(kind));
+  }
+
+  Result<ExecutionMetrics> ss = scalar.ExecuteScrambling();
+  Result<ExecutionMetrics> sv = vec.ExecuteScrambling();
+  Result<ExecutionMetrics> sc = canon.ExecuteScrambling();
+  ASSERT_TRUE(ss.ok() && sv.ok() && sc.ok());
+  ExpectIdentical(*ss, *sv, "scrambling");
+  ExpectIdentical(*ss, *sc, "scrambling-canonical");
+}
+
+INSTANTIATE_TEST_SUITE_P(Setups, KernelEquivalence,
+                         ::testing::Values(Setup::kFig6SlowA,
+                                           Setup::kFig7SlowF,
+                                           Setup::kStackedFiltersSlowA),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Setup::kFig6SlowA:
+                               return "Fig6SlowA";
+                             case Setup::kFig7SlowF:
+                               return "Fig7SlowF";
+                             default:
+                               return "StackedFiltersSlowA";
+                           }
+                         });
+
+}  // namespace
+}  // namespace dqsched::core

@@ -13,6 +13,12 @@ Checks, over src/**:
   using-std      `using namespace std` at any scope
   queue-push     per-tuple TupleQueue::Push outside src/comm — the data
                  plane moves tuples with span PushBatch/PopBatch only
+  kernel-push    per-tuple push_back/emplace_back/Add inside src/exec —
+                 the operator kernels deliver spans (AppendBatch paths)
+                 and refine selection vectors; only blessed expansion
+                 helpers, marked `// dqs-lint: allow(kernel-push)` or
+                 wrapped in begin-allow/end-allow(kernel-push) comments,
+                 may walk tuples one at a time
   timeout-type   header fields named like durations (timeout/deadline/
                  cooldown/silence/backoff/stall) declared as naked integers
                  instead of SimDuration (plural event counters are exempt)
@@ -204,6 +210,50 @@ def check_queue_push(path, rel, text):
             )
 
 
+KERNEL_PUSH = re.compile(r"(?:\.|->)(?:push_back|emplace_back|Add)\s*\(")
+
+
+def kernel_push_allowed_lines(raw):
+    """Line indexes (0-based) exempt from the kernel-push rule. Allow
+    markers live in comments, so they are read from the RAW text (the
+    matcher runs on comment-stripped text). Both a same-line marker and
+    begin-allow/end-allow block markers are honored."""
+    allowed = set()
+    depth = 0
+    for i, line in enumerate(raw.splitlines()):
+        if "dqs-lint: begin-allow(kernel-push)" in line:
+            depth += 1
+        if depth > 0 or "dqs-lint: allow(kernel-push)" in line:
+            allowed.add(i)
+        if "dqs-lint: end-allow(kernel-push)" in line:
+            depth -= 1
+    return allowed
+
+
+def check_kernel_push(path, rel, text, raw):
+    """The vectorized kernels moved tuple delivery to spans: filters mark
+    TupleIdList bits, probes expand into pre-sized buffers, sinks take one
+    contiguous AppendBatch per batch. A per-tuple push_back/Add creeping
+    back into src/exec reintroduces the branchy per-tuple loop this PR
+    removed, so any such member call must be a blessed expansion helper
+    carrying an explicit allow marker (mirrors the queue-push rule)."""
+    if rel.parts[0] != "exec":
+        return
+    allowed = kernel_push_allowed_lines(raw)
+    for i, line in enumerate(text.splitlines()):
+        if i in allowed:
+            continue
+        if KERNEL_PUSH.search(line):
+            finding(
+                path,
+                i + 1,
+                "kernel-push",
+                "per-tuple push_back/Add in an exec kernel; deliver a span "
+                "(AppendBatch) or mark a blessed expansion helper with "
+                "`dqs-lint: allow(kernel-push)`",
+            )
+
+
 def check_ancestors_index(path, rel, text):
     """`x.Ancestors(c)` allocates a vector and walks the blocker DAG on
     every call; Compile() flattens the transitive closure precisely so the
@@ -274,6 +324,7 @@ def main():
         check_raw_abort(path, rel, stripped)
         check_using_std(path, stripped)
         check_queue_push(path, rel, stripped)
+        check_kernel_push(path, rel, stripped, raw)
         check_ancestors_index(path, rel, stripped)
 
     check_nodiscard(src / "common" / "status.h")
