@@ -1,7 +1,7 @@
 #include "core/dphj.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/macros.h"
@@ -23,7 +23,12 @@ constexpr int64_t kDphjEntryBytes = 88;
 struct SideTable {
   int key_field = 0;
   std::vector<Tuple> tuples;
-  std::unordered_multimap<int64_t, size_t> index;
+  // Ordered multimap, not unordered: EnterJoin emits one combined tuple
+  // per `equal_range` element, so the within-key match order escapes into
+  // result rowids. std::multimap inserts equal keys at the upper bound
+  // (C++11), making that order exactly insertion order on every standard
+  // library (dqs-analyze rule unordered-iter).
+  std::multimap<int64_t, size_t> index;
 
   void Insert(const Tuple& t) {
     index.emplace(t.keys[static_cast<size_t>(key_field)], tuples.size());
@@ -147,9 +152,13 @@ Result<ExecutionMetrics> DphjRun::Run() {
   }
 
   // Source -> (chain, leading filter prefix is part of the chain walk).
-  std::unordered_map<SourceId, ChainId> chain_of_source;
+  // Vector-indexed (source ids are dense 0..num_sources-1), replacing an
+  // unordered_map: O(1) lookups with no hash order anywhere near the
+  // tuple path.
+  std::vector<ChainId> chain_of_source(
+      static_cast<size_t>(ctx_.comm.num_sources()), kInvalidId);
   for (const ChainInfo& chain : compiled_.chains) {
-    chain_of_source[chain.source] = chain.id;
+    chain_of_source[static_cast<size_t>(chain.source)] = chain.id;
   }
 
   std::vector<Tuple> buffer(static_cast<size_t>(config_.batch_size));

@@ -1,8 +1,8 @@
 #include "core/dqs.h"
 
 #include <algorithm>
-#include <chrono>
 
+#include "common/host_clock.h"
 #include "common/macros.h"
 #include "core/invariant_auditor.h"
 
@@ -50,7 +50,7 @@ double Dqs::Bmi(const ExecutionState& state, const exec::ExecContext& ctx,
 
 Result<SchedulingPlan> Dqs::ComputePlan(ExecutionState& state,
                                         exec::ExecContext& ctx, Dqo& dqo) {
-  const auto host_start = std::chrono::steady_clock::now();
+  const auto host_start = HostClock::Now();
   ++planning_phases_;
   // Step 1: snapshot the delivery-rate estimates; future RateChange
   // signals compare against this plan's view.
@@ -275,10 +275,7 @@ Result<SchedulingPlan> Dqs::ComputePlan(ExecutionState& state,
     sp.critical_ns.push_back(top.priority);
   }
 
-  planning_host_seconds_ +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    host_start)
-          .count();
+  planning_host_seconds_ += HostClock::SecondsSince(host_start);
 
   if (sp.fragments.empty() && !state.QueryDone()) {
     return Status::Internal(

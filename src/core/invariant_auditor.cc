@@ -1,8 +1,8 @@
 #include "core/invariant_auditor.h"
 
 #include <cmath>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace dqsched::core {
@@ -99,7 +99,9 @@ Status AuditCompiledPlan(const plan::CompiledPlan& compiled) {
   // Operator partition: every filter node and every probed join belongs to
   // exactly one chain (paper Section 2.2: the decomposition is a partition
   // of the physical operators).
-  std::unordered_map<NodeId, ChainId> filter_owner;
+  // Sorted map (not unordered): the first-reported duplicate owner must
+  // not depend on hash iteration order (dqs-analyze rule unordered-iter).
+  std::map<NodeId, ChainId> filter_owner;
   std::vector<ChainId> probe_owner(static_cast<size_t>(compiled.num_joins),
                                    kInvalidId);
   for (ChainId c = 0; c < compiled.num_chains(); ++c) {
@@ -362,7 +364,10 @@ Status AuditExecutionState(const ExecutionState& state,
   // fragment runtime of that source — current, or retired by a DQO stage
   // advance. Sources of other queries sharing the context are untouched:
   // source id spaces are disjoint by construction.
-  std::unordered_map<SourceId, int64_t> consumed_by_source;
+  // Sorted by SourceId so the conservation sweep below (and therefore
+  // which violation is reported first) is deterministic across runs and
+  // standard libraries.
+  std::map<SourceId, int64_t> consumed_by_source;
   for (ChainId c = 0; c < compiled.num_chains(); ++c) {
     const SourceId s = compiled.chain(c).source;
     if (s < 0 || s >= ctx.comm.num_sources()) {

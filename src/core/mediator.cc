@@ -1,9 +1,9 @@
 #include "core/mediator.h"
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <utility>
 
 #include "common/macros.h"
@@ -82,9 +82,10 @@ const plan::ReferenceResult& CachedReference(
     const std::vector<storage::Relation>& data,
     const wrapper::Catalog& catalog, uint64_t seed) {
   static std::mutex mu;
-  static std::unordered_map<std::string,
-                            std::unique_ptr<plan::ReferenceResult>>
-      memo;
+  // Sorted keys (std::map), not a hash map: lookup cost is irrelevant for
+  // a per-grid memo, and no unordered container sits anywhere near result
+  // state (dqs-analyze rule unordered-iter keeps it that way).
+  static std::map<std::string, std::unique_ptr<plan::ReferenceResult>> memo;
   std::string key = ReferenceKey(compiled, catalog, seed);
   {
     std::lock_guard<std::mutex> lock(mu);

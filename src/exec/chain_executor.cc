@@ -77,7 +77,7 @@ Result<int64_t> FragmentRuntime::ProcessBatch(ExecContext& ctx,
 // moves on the batch boundary counts, a move per filter-input tuple, a
 // hash probe per probe-input tuple, a produced-result instruction per
 // match — all in canonical op order.
-// dqs-lint: begin-allow(kernel-push) — reference scalar kernels
+// dqs-analyze: begin-allow(kernel-push) — reference scalar kernels
 Result<int64_t> FragmentRuntime::ProcessBatchScalar(
     ExecContext& ctx, const ChainSource::PopResult& pop) {
   int64_t instr = 0;
@@ -196,7 +196,7 @@ Result<int64_t> FragmentRuntime::ProcessBatchScalar(
   ctx.clock.BusyUntil(pop.ready);
   return pop.count;
 }
-// dqs-lint: end-allow(kernel-push)
+// dqs-analyze: end-allow(kernel-push)
 
 namespace {
 

@@ -55,9 +55,9 @@ void TempSource::Advance(ExecContext& ctx) {
     const SimTime done = ctx.temps.IssueRead(temp_, take);
     issued_upto_ += take;
     ++issues_;
-    // dqs-lint: begin-allow(kernel-push) — per-read-request bookkeeping
+    // dqs-analyze: begin-allow(kernel-push) — per-read-request bookkeeping
     inflight_.emplace_back(issued_upto_, done);
-    // dqs-lint: end-allow(kernel-push)
+    // dqs-analyze: end-allow(kernel-push)
   }
 }
 

@@ -24,16 +24,16 @@ namespace dqsched::exec {
 class ResultCollector {
  public:
   void Add(const storage::Tuple& t) {
-    checksum_.Add(t);  // dqs-lint: allow(kernel-push) — the delivery primitive
+    checksum_.Add(t);  // dqs-analyze: allow(kernel-push) — the delivery primitive
   }
 
   /// Bulk sink delivery: folds a whole span into the checksum. This is the
   /// blessed expansion helper the kernel-push lint rule points at — kernels
   /// hand over spans; only this helper walks tuples one at a time.
   void AddBatch(const storage::Tuple* data, int64_t n) {
-    // dqs-lint: begin-allow(kernel-push)
+    // dqs-analyze: begin-allow(kernel-push)
     for (int64_t i = 0; i < n; ++i) checksum_.Add(data[i]);
-    // dqs-lint: end-allow(kernel-push)
+    // dqs-analyze: end-allow(kernel-push)
   }
   int64_t count() const { return checksum_.count(); }
   const storage::ResultChecksum& checksum() const { return checksum_; }

@@ -1,8 +1,8 @@
 #include "exec/filter_manager.h"
 
 #include <algorithm>
-#include <chrono>
 
+#include "common/host_clock.h"
 #include "common/macros.h"
 
 namespace dqsched::exec {
@@ -54,7 +54,7 @@ void FilterManager::RunCanonical(const storage::Tuple* tuples,
                                  TupleIdList* sel,
                                  std::vector<int64_t>* charges) {
   for (const plan::ChainOp& term : terms_) {
-    charges->push_back(sel->Count());  // dqs-lint: allow(kernel-push) per-term
+    charges->push_back(sel->Count());  // dqs-analyze: allow(kernel-push) per-term
     sel->Refine([&](uint32_t id) {
       return storage::FilterPasses(tuples[id].rowid, term.node,
                                    term.selectivity);
@@ -78,14 +78,14 @@ void FilterManager::RunPermuted(const storage::Tuple* tuples,
     preds_.clear();
     for (size_t e = 0; e < r; ++e) {
       if (order_[e] < t) {
-        preds_.push_back(&bitmaps_[order_[e]]);  // dqs-lint: allow(kernel-push) per-term
+        preds_.push_back(&bitmaps_[order_[e]]);  // dqs-analyze: allow(kernel-push) per-term
       }
     }
     const plan::ChainOp& term = terms_[t];
     TupleIdList::Word* out_words = bitmaps_[t].mutable_words();
     int64_t evaluated = 0;
     int64_t passed = 0;
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = HostClock::Now();
     for (size_t w = 0; w < words; ++w) {
       TupleIdList::Word m = sel->words()[w];
       for (const TupleIdList* p : preds_) m &= p->words()[w];
@@ -108,17 +108,14 @@ void FilterManager::RunPermuted(const storage::Tuple* tuples,
       }
       out_words[w] = out;
     }
-    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const int64_t elapsed_ns = HostClock::NanosSince(start);
     bitmaps_[t].RecountAfterWordEdit();
 
     if (evaluated > 0) {
       const double obs_sel =
           static_cast<double>(passed) / static_cast<double>(evaluated);
-      const double obs_cost =
-          static_cast<double>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                  .count()) /
-          static_cast<double>(evaluated);
+      const double obs_cost = static_cast<double>(elapsed_ns) /
+                              static_cast<double>(evaluated);
       TermStats& st = stats_[t];
       st.ewma_selectivity =
           kEwmaAlpha * obs_sel + (1.0 - kEwmaAlpha) * st.ewma_selectivity;
@@ -134,7 +131,7 @@ void FilterManager::RunPermuted(const storage::Tuple* tuples,
   acc_.Resize(cap);
   acc_.AssignFrom(*sel);
   for (size_t t = 0; t < n; ++t) {
-    charges->push_back(acc_.Count());  // dqs-lint: allow(kernel-push) per-term
+    charges->push_back(acc_.Count());  // dqs-analyze: allow(kernel-push) per-term
     acc_.IntersectWith(bitmaps_[t]);
   }
   sel->AssignFrom(acc_);

@@ -132,10 +132,10 @@ Operand& OperandRegistry::Register(JoinId join, std::string name,
                                    int build_key_field) {
   DQS_CHECK_MSG(join == static_cast<JoinId>(operands_.size()),
                 "operands must register in join order");
-  // dqs-lint: begin-allow(kernel-push) — registry setup, one entry per join
+  // dqs-analyze: begin-allow(kernel-push) — registry setup, one entry per join
   operands_.push_back(
       std::make_unique<Operand>(join, std::move(name), build_key_field));
-  // dqs-lint: end-allow(kernel-push)
+  // dqs-analyze: end-allow(kernel-push)
   return *operands_.back();
 }
 

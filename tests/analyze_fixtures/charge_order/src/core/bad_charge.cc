@@ -1,0 +1,9 @@
+struct Clock {
+  void Advance(long d);
+  void ChargeInstr(long n);
+};
+
+void Tick(Clock& clock, Clock* ctx) {
+  clock.Advance(3);
+  ctx->ChargeInstr(5);
+}

@@ -1,0 +1,8 @@
+#ifndef DQSCHED_COMMON_OK_H_
+#define DQSCHED_COMMON_OK_H_
+
+namespace dqsched {
+int Ok();
+}
+
+#endif  // DQSCHED_COMMON_OK_H_

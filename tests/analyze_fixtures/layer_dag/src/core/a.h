@@ -1,0 +1,5 @@
+#include "core/b.h"
+
+namespace dqsched::core {
+int A();
+}

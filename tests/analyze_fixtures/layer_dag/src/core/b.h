@@ -1,0 +1,5 @@
+#include "core/a.h"
+
+namespace dqsched::core {
+int B();
+}

@@ -1,0 +1,5 @@
+#include "core/top.h"
+
+namespace dqsched::sim {
+int UsesCore();
+}

@@ -1,0 +1,7 @@
+int CountAncestors(const Plan& plan, int c) {
+  int n = 0;
+  for (int a : plan.Ancestors(c)) {
+    n += a;
+  }
+  return n;
+}

@@ -1,0 +1,9 @@
+Status ParseCount(int n) {
+  DQS_CHECK(n >= 0);
+  return Status();
+}
+
+Status HandleCount(int n) {
+  DQS_CHECK(n >= 0);
+  return Status();
+}

@@ -1,0 +1,4 @@
+void Copy(Vec& out, int t) {
+  out.push_back(t);
+  out.push_back(t);  // dqs-analyze: allow(kernel-push) blessed expansion
+}

@@ -1,0 +1,4 @@
+namespace dqsched {
+class Status {};
+class Result {};
+}

@@ -1,0 +1,6 @@
+#include "core/other.h"
+#include "core/foo.h"
+
+namespace dqsched::core {
+int Foo() { return Other(); }
+}

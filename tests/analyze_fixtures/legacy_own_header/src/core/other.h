@@ -1,0 +1,3 @@
+namespace dqsched::core {
+int Other();
+}

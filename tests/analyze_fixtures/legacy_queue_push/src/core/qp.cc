@@ -1,0 +1,3 @@
+void Drain(Queue& q, int t) {
+  q.Push(t);
+}

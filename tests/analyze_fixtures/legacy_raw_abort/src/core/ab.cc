@@ -1,0 +1,4 @@
+void Die(bool hard) {
+  if (hard) abort();
+  std::exit(1);
+}

@@ -1,0 +1,4 @@
+struct Conf {
+  long long timeout_ns = 0;
+  int stalls = 0;
+};

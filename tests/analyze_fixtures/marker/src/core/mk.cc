@@ -1,0 +1,3 @@
+void F() {}  // dqs-analyze: allow(no-such-rule)
+// dqs-analyze: begin-allow(rng)
+void G() {}

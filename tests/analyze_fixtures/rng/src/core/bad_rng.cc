@@ -1,0 +1,7 @@
+#include <random>
+
+unsigned Draw() {
+  std::mt19937 gen(42);
+  std::random_device rd;
+  return gen() + rd() + static_cast<unsigned>(rand());
+}

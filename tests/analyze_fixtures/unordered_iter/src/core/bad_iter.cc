@@ -1,0 +1,16 @@
+#include <unordered_map>
+
+int Sum(const std::unordered_map<int, int>& extra) {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  for (const auto& kv : counts) {
+    total += kv.second;
+  }
+  for (auto it = counts.begin(); it != counts.end(); ++it) {
+    total += it->second;
+  }
+  for (const auto& kv : extra) {
+    total += kv.second;
+  }
+  return total;
+}

@@ -1,0 +1,8 @@
+#include <chrono>
+
+double Sample() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto secs = time(nullptr);
+  return static_cast<double>(secs) + std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - t0).count();
+}

@@ -1,341 +1,27 @@
 #!/usr/bin/env python3
-"""Convention linter for the dqsched tree (run as the `dqs_lint` ctest).
+"""Compatibility shim: the convention linter is now a rule subset of
+tools/dqs_analyze.py (one analyzer, one marker syntax, one findings
+format — see that file's docstring).
 
-Checks, over src/**:
-
-  guard          include guards are DQSCHED_<REL_PATH>_H_ with a matching
-                 `#endif  // DQSCHED_..._H_` trailer
-  own-header     every src/**/*.cc with a sibling header includes it first
-  nodiscard      common/status.h keeps [[nodiscard]] on Status and Result
-  check-on-input DQS_CHECK aborts inside Parse*/TryParse*/Validate* bodies
-                 (user-input paths must return Status, not crash)
-  raw-abort      abort()/exit() calls outside common/macros.h
-  using-std      `using namespace std` at any scope
-  queue-push     per-tuple TupleQueue::Push outside src/comm — the data
-                 plane moves tuples with span PushBatch/PopBatch only
-  kernel-push    per-tuple push_back/emplace_back/Add inside src/exec —
-                 the operator kernels deliver spans (AppendBatch paths)
-                 and refine selection vectors; only blessed expansion
-                 helpers, marked `// dqs-lint: allow(kernel-push)` or
-                 wrapped in begin-allow/end-allow(kernel-push) comments,
-                 may walk tuples one at a time
-  timeout-type   header fields named like durations (timeout/deadline/
-                 cooldown/silence/backoff/stall) declared as naked integers
-                 instead of SimDuration (plural event counters are exempt)
-  ancestors-index  CompiledPlan::Ancestors() (allocating DFS reference)
-                 called outside src/plan — hot paths must read the O(1)
-                 closure-index span AncestorsOf() instead
-
-Exits 0 when clean; prints findings as `path:line: [rule] message` and
-exits 1 otherwise.
+The ten legacy rules (guard, own-header, nodiscard, check-on-input,
+raw-abort, using-std, queue-push, kernel-push, timeout-type,
+ancestors-index) run on the shared C++ lexer and include-graph
+infrastructure; suppression markers are spelled
+`dqs-analyze: allow(<rule>)`. This entry point exists so the `dqs_lint`
+ctest name and any muscle-memory invocations keep working.
 """
 
-import re
 import sys
 from pathlib import Path
 
-FINDINGS = []
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-
-def finding(path, line, rule, msg):
-    FINDINGS.append(f"{path}:{line}: [{rule}] {msg}")
-
-
-def strip_comments(text):
-    """Blanks out comments and string literals, preserving line structure."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        ch = text[i]
-        if ch == "/" and i + 1 < n and text[i + 1] == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            out.append(" " * (j - i))
-            i = j
-        elif ch == "/" and i + 1 < n and text[i + 1] == "*":
-            j = text.find("*/", i + 2)
-            j = n if j == -1 else j + 2
-            out.append("".join("\n" if c == "\n" else " " for c in text[i:j]))
-            i = j
-        elif ch in "\"'":
-            quote = ch
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            j = min(j + 1, n)
-            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2 else ch)
-            i = j
-        else:
-            out.append(ch)
-            i += 1
-    return "".join(out)
-
-
-def expected_guard(rel):
-    stem = re.sub(r"[^A-Za-z0-9]", "_", str(rel.with_suffix("")))
-    return f"DQSCHED_{stem.upper()}_H_"
-
-
-def check_guard(path, rel, lines):
-    guard = expected_guard(rel)
-    ifndef = next(
-        (i for i, l in enumerate(lines) if l.startswith("#ifndef")), None
-    )
-    if ifndef is None or lines[ifndef].split()[1:2] != [guard]:
-        finding(path, (ifndef or 0) + 1, "guard", f"expected `#ifndef {guard}`")
-        return
-    if ifndef + 1 >= len(lines) or lines[ifndef + 1].split()[1:2] != [guard]:
-        finding(path, ifndef + 2, "guard", f"expected `#define {guard}`")
-    last_endif = next(
-        (
-            i
-            for i in range(len(lines) - 1, -1, -1)
-            if lines[i].startswith("#endif")
-        ),
-        None,
-    )
-    want = f"#endif  // {guard}"
-    if last_endif is None or lines[last_endif].rstrip() != want:
-        finding(path, (last_endif or 0) + 1, "guard", f"expected `{want}`")
-
-
-def check_own_header_first(path, rel, lines, src_root):
-    header = rel.with_suffix(".h")
-    if not (src_root / header).exists():
-        return
-    for i, line in enumerate(lines):
-        m = re.match(r'\s*#include\s+["<]([^">]+)[">]', line)
-        if m:
-            if m.group(1) != str(header):
-                finding(
-                    path,
-                    i + 1,
-                    "own-header",
-                    f'first include must be "{header}"',
-                )
-            return
-
-
-def check_nodiscard(status_h):
-    text = status_h.read_text()
-    for cls in ("Status", "Result"):
-        if not re.search(rf"class\s+\[\[nodiscard\]\]\s+{cls}\b", text):
-            line = next(
-                (
-                    i + 1
-                    for i, l in enumerate(text.splitlines())
-                    if re.search(rf"class\s.*\b{cls}\b", l)
-                ),
-                1,
-            )
-            finding(
-                status_h,
-                line,
-                "nodiscard",
-                f"class {cls} must be declared [[nodiscard]]",
-            )
-
-
-INPUT_FN = re.compile(
-    r"\b(?:Status|Result<[^;{]*>)\s+(?:[A-Za-z_]\w*::)*"
-    r"((?:Parse|TryParse|Validate)\w*)\s*\("
-)
-
-
-def check_input_paths(path, text):
-    """DQS_CHECK inside a Parse*/TryParse*/Validate* body aborts the process
-    on bad user input instead of surfacing a Status — flag it."""
-    for m in INPUT_FN.finditer(text):
-        brace = text.find("{", m.end())
-        semi = text.find(";", m.end())
-        if brace == -1 or (semi != -1 and semi < brace):
-            continue  # declaration, not a definition
-        depth, i = 0, brace
-        while i < len(text):
-            if text[i] == "{":
-                depth += 1
-            elif text[i] == "}":
-                depth -= 1
-                if depth == 0:
-                    break
-            i += 1
-        body = text[brace:i]
-        for cm in re.finditer(r"\bDQS_CHECK(_MSG)?\s*\(", body):
-            line = text.count("\n", 0, brace + cm.start()) + 1
-            finding(
-                path,
-                line,
-                "check-on-input",
-                f"DQS_CHECK in {m.group(1)}(): return a Status error "
-                "instead of aborting on user input",
-            )
-
-
-def check_raw_abort(path, rel, text):
-    if str(rel) == "common/macros.h":
-        return
-    for i, line in enumerate(text.splitlines()):
-        if re.search(r"(?<![\w.])(?:std::)?(?:abort|exit|_Exit)\s*\(", line):
-            finding(
-                path,
-                i + 1,
-                "raw-abort",
-                "call DQS_CHECK/DQS_CHECK_MSG (macros.h) instead of "
-                "aborting directly",
-            )
-
-
-def check_using_std(path, text):
-    for i, line in enumerate(text.splitlines()):
-        if re.search(r"\busing\s+namespace\s+std\b", line):
-            finding(path, i + 1, "using-std", "`using namespace std` banned")
-
-
-def check_queue_push(path, rel, text):
-    """Per-tuple `.Push(` on a TupleQueue outside the comm layer defeats the
-    bulk transport: producers must deliver spans via PushBatch. TupleQueue
-    is the only class in the tree with a `Push` method, so any member call
-    spelled `.Push(`/`->Push(` outside src/comm is a violation (this also
-    catches producers that reach the queue through transitive includes)."""
-    if rel.parts[0] == "comm":
-        return
-    for i, line in enumerate(text.splitlines()):
-        if re.search(r"(?:\.|->)Push\s*\(", line):
-            finding(
-                path,
-                i + 1,
-                "queue-push",
-                "per-tuple TupleQueue::Push outside src/comm; deliver a "
-                "span with PushBatch",
-            )
-
-
-KERNEL_PUSH = re.compile(r"(?:\.|->)(?:push_back|emplace_back|Add)\s*\(")
-
-
-def kernel_push_allowed_lines(raw):
-    """Line indexes (0-based) exempt from the kernel-push rule. Allow
-    markers live in comments, so they are read from the RAW text (the
-    matcher runs on comment-stripped text). Both a same-line marker and
-    begin-allow/end-allow block markers are honored."""
-    allowed = set()
-    depth = 0
-    for i, line in enumerate(raw.splitlines()):
-        if "dqs-lint: begin-allow(kernel-push)" in line:
-            depth += 1
-        if depth > 0 or "dqs-lint: allow(kernel-push)" in line:
-            allowed.add(i)
-        if "dqs-lint: end-allow(kernel-push)" in line:
-            depth -= 1
-    return allowed
-
-
-def check_kernel_push(path, rel, text, raw):
-    """The vectorized kernels moved tuple delivery to spans: filters mark
-    TupleIdList bits, probes expand into pre-sized buffers, sinks take one
-    contiguous AppendBatch per batch. A per-tuple push_back/Add creeping
-    back into src/exec reintroduces the branchy per-tuple loop this PR
-    removed, so any such member call must be a blessed expansion helper
-    carrying an explicit allow marker (mirrors the queue-push rule)."""
-    if rel.parts[0] != "exec":
-        return
-    allowed = kernel_push_allowed_lines(raw)
-    for i, line in enumerate(text.splitlines()):
-        if i in allowed:
-            continue
-        if KERNEL_PUSH.search(line):
-            finding(
-                path,
-                i + 1,
-                "kernel-push",
-                "per-tuple push_back/Add in an exec kernel; deliver a span "
-                "(AppendBatch) or mark a blessed expansion helper with "
-                "`dqs-lint: allow(kernel-push)`",
-            )
-
-
-def check_ancestors_index(path, rel, text):
-    """`x.Ancestors(c)` allocates a vector and walks the blocker DAG on
-    every call; Compile() flattens the transitive closure precisely so the
-    scheduler never pays that. Outside src/plan (which owns the reference
-    implementation and its validation) every call site must use the
-    AncestorsOf() span. The regex requires a member call, so free
-    functions and AncestorsOf itself do not match."""
-    if rel.parts[0] == "plan":
-        return
-    for i, line in enumerate(text.splitlines()):
-        if re.search(r"(?:\.|->)Ancestors\s*\(", line):
-            finding(
-                path,
-                i + 1,
-                "ancestors-index",
-                "CompiledPlan::Ancestors() outside src/plan; read the "
-                "closure-index span AncestorsOf() instead",
-            )
-
-
-DURATION_FIELD = re.compile(
-    r"\b(?:u?int(?:8|16|32|64)_t|int|long(?:\s+long)?|unsigned|size_t)\s+"
-    r"(\w*(?:timeout|deadline|cooldown|silence|backoff|stall)\w*)\s*"
-    r"(?:=[^;]*)?;"
-)
-
-
-def check_timeout_type(path, text):
-    """A timeout/deadline knob typed `int64_t` is a naked tick count whose
-    unit the reader must guess; declare it SimDuration (sim_time.h) so the
-    Milliseconds()/Seconds() constructors document the unit at every use.
-    Plural names (`timeouts`) are event counters, not durations — exempt."""
-    for i, line in enumerate(text.splitlines()):
-        m = DURATION_FIELD.search(line)
-        if m is None:
-            continue
-        name = m.group(1).rstrip("_")
-        if re.search(
-            r"(?:timeout|deadline|cooldown|silence|backoff|stall)s", name
-        ):
-            continue  # counter (`timeouts`, `stalls_injected`), not a duration
-        finding(
-            path,
-            i + 1,
-            "timeout-type",
-            f"`{name}` looks like a duration; declare it SimDuration, "
-            "not a naked integer",
-        )
+import dqs_analyze  # noqa: E402
 
 
 def main():
-    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
-    src = root / "src"
-    if not src.is_dir():
-        print(f"dqs_lint: no src/ under {root}", file=sys.stderr)
-        return 2
-
-    for path in sorted(src.rglob("*.h")) + sorted(src.rglob("*.cc")):
-        rel = path.relative_to(src)
-        raw = path.read_text()
-        stripped = strip_comments(raw)  # no comment/string-literal matches
-        if path.suffix == ".h":
-            check_guard(path, rel, raw.splitlines())
-            check_timeout_type(path, stripped)
-        else:
-            check_own_header_first(path, rel, raw.splitlines(), src)
-        check_input_paths(path, stripped)
-        check_raw_abort(path, rel, stripped)
-        check_using_std(path, stripped)
-        check_queue_push(path, rel, stripped)
-        check_kernel_push(path, rel, stripped, raw)
-        check_ancestors_index(path, rel, stripped)
-
-    check_nodiscard(src / "common" / "status.h")
-
-    if FINDINGS:
-        print(f"dqs_lint: {len(FINDINGS)} finding(s)")
-        for f in FINDINGS:
-            print(f"  {f}")
-        return 1
-    print("dqs_lint: clean")
-    return 0
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    return dqs_analyze.run(root, rules=list(dqs_analyze.LEGACY_RULES))
 
 
 if __name__ == "__main__":
