@@ -1,6 +1,8 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -212,6 +214,26 @@ std::string GainCell(const StrategyOutcome& seq, const StrategyOutcome& dse) {
   if (!seq.ok || !dse.ok || seq.seconds <= 0) return "";
   return TablePrinter::Num(100.0 * (seq.seconds - dse.seconds) / seq.seconds,
                            1);
+}
+
+LatencySummary SummarizeLatencies(const std::vector<SimDuration>& latencies) {
+  LatencySummary summary;
+  if (latencies.empty()) return summary;
+  std::vector<SimDuration> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest value with at least p% of the sample at or
+  // below it — ceil(p * n) in 1-based ranks.
+  auto rank = [&](double p) {
+    const size_t n = sorted.size();
+    size_t r = static_cast<size_t>(std::ceil(p * static_cast<double>(n)));
+    if (r < 1) r = 1;
+    if (r > n) r = n;
+    return ToSecondsF(sorted[r - 1]);
+  };
+  summary.p50_s = rank(0.50);
+  summary.p95_s = rank(0.95);
+  summary.p99_s = rank(0.99);
+  return summary;
 }
 
 void PrintPreamble(const char* title, const char* paper_artifact,

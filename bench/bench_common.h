@@ -90,6 +90,17 @@ std::string Cell(const StrategyOutcome& outcome);
 /// Percentage gain of dse over seq, as "37.5" (empty on failure).
 std::string GainCell(const StrategyOutcome& seq, const StrategyOutcome& dse);
 
+/// Percentile summary of per-query completion latencies (nearest-rank on
+/// a sorted copy, so the summary is deterministic and allocation-cheap).
+/// Used by bench_multi_query and bench_fleet.
+struct LatencySummary {
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+};
+
+LatencySummary SummarizeLatencies(const std::vector<SimDuration>& latencies);
+
 /// Prints the standard bench preamble.
 void PrintPreamble(const char* title, const char* paper_artifact,
                    const BenchOptions& options);

@@ -86,9 +86,11 @@ int main(int argc, char** argv) {
         return out;
       });
 
-  std::vector<std::string> headers = {"queries",      "mode",
-                                      "per-query",    "makespan (s)",
-                                      "mean response (s)", "total degradations"};
+  // The latency distribution next to its mean: per-query completion
+  // times summarized as nearest-rank percentiles (SummarizeLatencies).
+  std::vector<std::string> headers = {
+      "queries", "mode", "per-query", "makespan (s)", "mean response (s)",
+      "p50 (s)", "p95 (s)", "p99 (s)", "total degradations"};
   if (options.walls) headers.push_back("wall (ms)");
   TablePrinter table(std::move(headers));
   for (size_t i = 0; i < grid.size(); ++i) {
@@ -100,11 +102,15 @@ int main(int argc, char** argv) {
                    core::StrategyName(cell.kind), r.error.c_str());
       return 1;
     }
+    const bench::LatencySummary lat =
+        bench::SummarizeLatencies(r.metrics.response_times);
     std::vector<std::string> row = {
         std::to_string(cell.n), core::MultiModeName(cell.mode),
         core::StrategyName(cell.kind),
         TablePrinter::Num(ToSecondsF(r.metrics.makespan)),
         TablePrinter::Num(ToSecondsF(r.metrics.mean_response)),
+        TablePrinter::Num(lat.p50_s), TablePrinter::Num(lat.p95_s),
+        TablePrinter::Num(lat.p99_s),
         std::to_string(r.metrics.total_degradations)};
     if (options.walls) row.push_back(TablePrinter::Num(r.wall_ms));
     table.AddRow(std::move(row));

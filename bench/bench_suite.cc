@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/random.h"
+#include "core/fleet_executor.h"
 #include "core/multi_query.h"
 #include "parallel_runner.h"
 
@@ -342,6 +344,72 @@ std::vector<SuiteCell> BuildSuite(const BenchOptions& options) {
                              outcome.seconds = ToSecondsF(r->makespan);
                              return outcome;
                            }});
+      }
+    }
+  }
+
+  // Sharded fleet (bench_fleet's open-loop stream at reduced scale); the
+  // tracked "simulated seconds" is the fleet makespan. Each cell runs its
+  // fleet on one host thread — the suite's own runner provides the
+  // cross-cell parallelism, and fleet results are jobs-invariant anyway.
+  {
+    const double scale = 0.1 * options.scale;
+    struct FleetAxis {
+      int shards;
+      int n;
+    };
+    for (const FleetAxis axis : {FleetAxis{4, 12}, FleetAxis{8, 24}}) {
+      for (core::StrategyKind kind :
+           {core::StrategyKind::kSeq, core::StrategyKind::kDse}) {
+        const std::string label = "shards=" + std::to_string(axis.shards) +
+                                  "/n=" + std::to_string(axis.n) + "/" +
+                                  KindLabel(kind);
+        const uint64_t seed = options.seed;
+        cells.push_back({"fleet", label, [scale, axis, kind, seed] {
+                           StrategyOutcome outcome;
+                           std::vector<plan::QuerySetup> templates;
+                           templates.push_back(
+                               plan::PaperFigure5Query(0.25 * scale));
+                           plan::QuerySetup slow =
+                               plan::PaperFigure5Query(0.25 * scale);
+                           slow.catalog.source(slow.catalog.Find("A"))
+                               .delay.mean_us *= 3.0;
+                           templates.push_back(std::move(slow));
+                           Rng stream(seed ^ 0xF1EE7ULL);
+                           std::vector<core::FleetQuerySpec> workload;
+                           SimTime at = 0;
+                           for (int i = 0; i < axis.n; ++i) {
+                             at += Seconds(
+                                 stream.Exponential(0.05 * scale));
+                             core::FleetQuerySpec spec;
+                             spec.arrival = at;
+                             const bool interactive =
+                                 stream.NextDouble() < 0.6;
+                             spec.template_idx = interactive ? 0 : 1;
+                             spec.fairness =
+                                 interactive
+                                     ? core::FairnessClass::kInteractive
+                                     : core::FairnessClass::kBatch;
+                             workload.push_back(spec);
+                           }
+                           core::FleetConfig fc;
+                           fc.seed = seed;
+                           fc.num_shards = axis.shards;
+                           auto fleet = core::FleetExecutor::Create(
+                               std::move(templates), std::move(workload), fc);
+                           if (!fleet.ok()) {
+                             outcome.error = fleet.status().ToString();
+                             return outcome;
+                           }
+                           auto r = fleet->Execute(kind, /*jobs=*/1);
+                           if (!r.ok()) {
+                             outcome.error = r.status().ToString();
+                             return outcome;
+                           }
+                           outcome.ok = true;
+                           outcome.seconds = ToSecondsF(r->makespan);
+                           return outcome;
+                         }});
       }
     }
   }

@@ -1,61 +1,17 @@
-// Work-stealing thread pool for the bench suite.
-//
-// Every paper artifact is a grid of independent, deterministic simulation
-// cells — one (QuerySetup, MediatorConfig, StrategyKind, seed) point each.
-// The runner executes those cells across threads while the caller keeps
-// deterministic output order by writing each cell's result into a
-// caller-owned slot indexed by cell position.
-//
-// Threading contract (see DESIGN.md "Threading"): a Mediator and its
-// ExecContext are confined to the task that created them — one Mediator
-// per thread at a time, nothing shared between cells. The simulator has no
-// global mutable state (RNG, clocks, metrics and trace sinks all live
-// inside the Mediator / ExecContext), so cells need no synchronization
-// beyond the runner's own queues. tests/parallel_runner_test.cc enforces
-// this with a TSan-clean stress test.
+// Forwarding shim: the work-stealing runner moved into the library
+// (src/common/parallel_runner.h) so the fleet executor can drive shard
+// threads through it. Bench binaries and tests keep their historical
+// `dqsched::bench::ParallelRunner` spelling via this header.
 
 #ifndef DQSCHED_BENCH_PARALLEL_RUNNER_H_
 #define DQSCHED_BENCH_PARALLEL_RUNNER_H_
 
-#include <functional>
-#include <vector>
+#include "common/parallel_runner.h"
 
 namespace dqsched::bench {
 
-class ParallelRunner {
- public:
-  /// `jobs` <= 0 selects DefaultJobs().
-  explicit ParallelRunner(int jobs);
-
-  /// Executes every task and returns once all have finished. Tasks are
-  /// dealt round-robin to per-worker deques; idle workers steal from the
-  /// busiest victim, so one long cell cannot serialize the grid. With one
-  /// job the tasks run inline on the calling thread, in order.
-  void Run(const std::vector<std::function<void()>>& tasks) const;
-
-  int jobs() const { return jobs_; }
-
-  /// Hardware concurrency (at least 1).
-  static int DefaultJobs();
-
- private:
-  int jobs_;
-};
-
-/// Runs fn(0..n-1) and returns the results indexed by call position —
-/// parallel execution, deterministic order.
-template <typename R>
-std::vector<R> RunIndexed(const ParallelRunner& runner, size_t n,
-                          const std::function<R(size_t)>& fn) {
-  std::vector<R> results(n);
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    tasks.push_back([&results, &fn, i] { results[i] = fn(i); });
-  }
-  runner.Run(tasks);
-  return results;
-}
+using dqsched::ParallelRunner;
+using dqsched::RunIndexed;
 
 }  // namespace dqsched::bench
 

@@ -31,6 +31,16 @@ void CommManager::AddSource(std::unique_ptr<wrapper::SimWrapper> w,
   }
 }
 
+void CommManager::StartSource(SourceId source, SimTime now) {
+  const size_t i = static_cast<size_t>(source);
+  wrappers_[i]->Start(now);
+  ++source_version_[i];
+  // Silence is measured from admission, not query start, or a long-queued
+  // query would join already suspected.
+  fault_state_[i].last_arrival = now;
+  SyncSource(i);
+}
+
 void CommManager::SyncSource(size_t i) {
   const SimTime key = wrappers_[i]->NextArrival();
   if (key == heap_key_[i]) return;

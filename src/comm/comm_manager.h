@@ -92,6 +92,12 @@ class CommManager {
 
   int num_sources() const { return static_cast<int>(wrappers_.size()); }
 
+  /// Releases a held wrapper at virtual time `now` (fleet admission): the
+  /// source comes online as if it connected then. Bumps the source's
+  /// delivery version (NextArrival flips from kSimTimeNever), seeds its
+  /// liveness silence base, and re-keys the pump heap.
+  void StartSource(SourceId source, SimTime now);
+
   /// Delivers all due production of every wrapper up to `now`. Only sources
   /// whose next arrival is <= `now` are touched: the manager keeps a
   /// min-heap over SimWrapper::NextArrival(), so an idle pump is O(1).

@@ -1,4 +1,4 @@
-#include "parallel_runner.h"
+#include "common/parallel_runner.h"
 
 #include <algorithm>
 #include <atomic>
@@ -6,7 +6,7 @@
 #include <mutex>
 #include <thread>
 
-namespace dqsched::bench {
+namespace dqsched {
 
 namespace {
 
@@ -96,4 +96,4 @@ void ParallelRunner::Run(
   for (std::thread& t : threads) t.join();
 }
 
-}  // namespace dqsched::bench
+}  // namespace dqsched

@@ -1,0 +1,400 @@
+#include "core/fleet_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/parallel_runner.h"
+#include "core/shared_loop.h"
+#include "exec/exec_context.h"
+#include "storage/tuple.h"
+#include "wrapper/wrapper.h"
+
+namespace dqsched::core {
+
+namespace {
+
+uint64_t MixSeed(uint64_t base, uint64_t a, uint64_t b) {
+  return storage::Mix64(base ^ (a + 1) * 0x9e3779b97f4a7c15ULL ^
+                        (b + 1) * 0xc2b2ae3d27d4eb4fULL);
+}
+
+/// Admission estimate of one compiled template: the annotated hard +
+/// spillable memory of every chain, never below one byte (the broker
+/// rejects zero-weight admissions).
+int64_t EstimateBytes(const plan::CompiledPlan& compiled) {
+  double est = 0.0;
+  for (const plan::ChainInfo& chain : compiled.chains) {
+    est += std::ceil(chain.est_mem_bytes + chain.est_sink_mem_bytes);
+  }
+  return std::max<int64_t>(1, static_cast<int64_t>(est));
+}
+
+bool GrantBefore(const MemoryBroker::Grant& a, const MemoryBroker::Grant& b) {
+  return a.granted_at != b.granted_at ? a.granted_at < b.granted_at
+                                      : a.uid < b.uid;
+}
+
+}  // namespace
+
+Result<FleetExecutor> FleetExecutor::Create(
+    std::vector<plan::QuerySetup> templates,
+    std::vector<FleetQuerySpec> workload, FleetConfig config) {
+  DQS_RETURN_IF_ERROR(config.cost.Validate());
+  if (templates.empty()) {
+    return Status::InvalidArgument("no query templates");
+  }
+  if (workload.empty()) {
+    return Status::InvalidArgument("empty fleet workload");
+  }
+  if (config.num_shards <= 0 || config.sync_turns <= 0 ||
+      config.slice_batches <= 0 || config.memory_budget_bytes <= 0) {
+    return Status::InvalidArgument(
+        "shards, sync turns, slice and budget must be > 0");
+  }
+
+  std::vector<PreparedTemplate> prepared;
+  prepared.reserve(templates.size());
+  for (size_t t = 0; t < templates.size(); ++t) {
+    plan::QuerySetup& setup = templates[t];
+    PreparedTemplate tpl;
+    Result<plan::CompiledPlan> compiled =
+        plan::Compile(setup.plan, setup.catalog);
+    if (!compiled.ok()) return compiled.status();
+    tpl.compiled = std::move(compiled.value());
+    DQS_RETURN_IF_ERROR(
+        plan::Annotate(&tpl.compiled, setup.catalog, config.cost));
+    tpl.data.reserve(static_cast<size_t>(setup.catalog.num_sources()));
+    for (SourceId s = 0; s < setup.catalog.num_sources(); ++s) {
+      tpl.data.push_back(storage::GenerateRelation(
+          setup.catalog.source(s).relation, s,
+          Rng(MixSeed(config.seed, 0x7E3D + t, static_cast<uint64_t>(s)))));
+    }
+    tpl.reference = plan::ExecuteReference(tpl.compiled, tpl.data);
+    tpl.est_bytes = EstimateBytes(tpl.compiled);
+    tpl.catalog = std::move(setup.catalog);
+    prepared.push_back(std::move(tpl));
+  }
+
+  std::vector<PreparedInstance> instances;
+  instances.reserve(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const FleetQuerySpec& spec = workload[i];
+    if (spec.template_idx < 0 ||
+        spec.template_idx >= static_cast<int>(prepared.size())) {
+      return Status::InvalidArgument("fleet spec names an unknown template");
+    }
+    if (spec.arrival < 0) {
+      return Status::InvalidArgument("fleet arrival times must be >= 0");
+    }
+    PreparedInstance inst;
+    inst.spec = spec;
+    inst.uid = static_cast<int64_t>(i);
+    // Stable hash placement: depends only on (seed, uid), never on load.
+    inst.shard = static_cast<int>(
+        MixSeed(config.seed, static_cast<uint64_t>(i), 0xF1EE7) %
+        static_cast<uint64_t>(config.num_shards));
+    instances.push_back(std::move(inst));
+  }
+
+  // Shard-local source id spaces: each shard's instances get contiguous
+  // ranges in admission order (arrival, uid), and each instance runs a
+  // template copy remapped into its range.
+  std::vector<std::vector<int>> shard_instances(
+      static_cast<size_t>(config.num_shards));
+  for (const PreparedInstance& inst : instances) {
+    shard_instances[static_cast<size_t>(inst.shard)].push_back(
+        static_cast<int>(inst.uid));
+  }
+  for (std::vector<int>& order : shard_instances) {
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const SimTime aa = instances[static_cast<size_t>(a)].spec.arrival;
+      const SimTime bb = instances[static_cast<size_t>(b)].spec.arrival;
+      return aa != bb ? aa < bb : a < b;
+    });
+    SourceId offset = 0;
+    for (int idx : order) {
+      PreparedInstance& inst = instances[static_cast<size_t>(idx)];
+      const PreparedTemplate& tpl =
+          prepared[static_cast<size_t>(inst.spec.template_idx)];
+      inst.compiled = tpl.compiled;
+      for (plan::ChainInfo& chain : inst.compiled.chains) {
+        chain.source += offset;
+      }
+      inst.source_lo = offset;
+      inst.source_hi = offset + tpl.catalog.num_sources();
+      offset = inst.source_hi;
+    }
+  }
+
+  return FleetExecutor(std::move(prepared), std::move(instances),
+                       std::move(shard_instances), std::move(config));
+}
+
+Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
+                                            int jobs) const {
+  if (strategy == StrategyKind::kMa) {
+    return Status::InvalidArgument(
+        "fleet execution supports SEQ and DSE per-query strategies");
+  }
+  const int num_shards = config_.num_shards;
+  const int total = num_queries();
+
+  // Per-shard run state. The ExecContext/loop/mailbox of shard s are
+  // touched only by the coordinator (between rounds) and by whichever
+  // worker runs s's advance task (during a round); ParallelRunner::Run
+  // joining its workers is the barrier that orders the two.
+  struct ShardRun {
+    std::unique_ptr<exec::ExecContext> ctx;
+    std::unique_ptr<SharedQueryLoop> loop;
+    /// Granted-but-not-joined queries, sorted by (granted_at, uid).
+    std::deque<MemoryBroker::Grant> mailbox;
+    /// Loop slot -> query uid.
+    std::vector<int64_t> slot_uid;
+    /// Sum of joined-but-not-released admission estimates.
+    int64_t outstanding_est = 0;
+    int completed = 0;
+    Status status = Status::Ok();
+  };
+  std::vector<ShardRun> shards(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    ShardRun& sr = shards[static_cast<size_t>(s)];
+    sr.ctx = std::make_unique<exec::ExecContext>(
+        &config_.cost, config_.comm, config_.memory_budget_bytes);
+    // Register every wrapper of every query this shard will ever run, in
+    // shard-local source id order, held: a held wrapper delivers nothing
+    // and reports no arrival until its query is admitted and StartSource
+    // releases it at the join time.
+    for (int idx : shard_instances_[static_cast<size_t>(s)]) {
+      const PreparedInstance& inst = instances_[static_cast<size_t>(idx)];
+      const PreparedTemplate& tpl =
+          templates_[static_cast<size_t>(inst.spec.template_idx)];
+      for (SourceId src = 0; src < tpl.catalog.num_sources(); ++src) {
+        auto w = std::make_unique<wrapper::SimWrapper>(
+            inst.source_lo + src, &tpl.data[static_cast<size_t>(src)],
+            tpl.catalog.source(src).delay,
+            MixSeed(config_.seed, static_cast<uint64_t>(inst.uid),
+                    static_cast<uint64_t>(src) + 977));
+        w->Hold();
+        sr.ctx->comm.AddSource(
+            std::move(w), static_cast<double>(config_.cost.MinWaitingTime()));
+      }
+    }
+    SharedQueryLoop::Options loop_options;
+    loop_options.strategy = strategy;
+    loop_options.config = config_.strategy;
+    loop_options.slice_batches = config_.slice_batches;
+    loop_options.targeted_replans = config_.targeted_replans;
+    loop_options.kernels = config_.kernels;
+    sr.loop = std::make_unique<SharedQueryLoop>(sr.ctx.get(), loop_options);
+  }
+
+  MemoryBroker broker(MemoryBroker::Config{config_.memory_budget_bytes});
+  // The whole open-loop stream is known upfront, so every admission
+  // request is submitted before the first round; arrival times ride along
+  // and the broker's virtual grant stamps never precede them.
+  for (const PreparedInstance& inst : instances_) {
+    MemoryBroker::Request req;
+    req.uid = inst.uid;
+    req.shard = inst.shard;
+    req.est_bytes =
+        templates_[static_cast<size_t>(inst.spec.template_idx)].est_bytes;
+    req.fairness = inst.spec.fairness;
+    req.arrival = inst.spec.arrival;
+    broker.Submit(req);
+  }
+
+  std::vector<FleetQueryOutcome> outcomes(static_cast<size_t>(total));
+  for (const PreparedInstance& inst : instances_) {
+    FleetQueryOutcome& oc = outcomes[static_cast<size_t>(inst.uid)];
+    oc.uid = inst.uid;
+    oc.shard = inst.shard;
+    oc.template_idx = inst.spec.template_idx;
+    oc.fairness = inst.spec.fairness;
+    oc.est_bytes =
+        templates_[static_cast<size_t>(inst.spec.template_idx)].est_bytes;
+    oc.arrival = inst.spec.arrival;
+  }
+
+  // One shard advance: deliver due grants, run up to sync_turns loop
+  // turns, stall only the shard's own clock. Completion releases go to
+  // the broker mid-round (append only); new grants arrive at the barrier.
+  auto advance = [&](int s) {
+    ShardRun& sr = shards[static_cast<size_t>(s)];
+    exec::ExecContext& ctx = *sr.ctx;
+    auto join_front = [&] {
+      const MemoryBroker::Grant grant = sr.mailbox.front();
+      sr.mailbox.pop_front();
+      const PreparedInstance& inst =
+          instances_[static_cast<size_t>(grant.uid)];
+      SharedQueryDesc desc;
+      desc.compiled = &inst.compiled;
+      desc.source_lo = inst.source_lo;
+      desc.source_hi = inst.source_hi;
+      const int slot = sr.loop->AddQuery(desc);
+      DQS_CHECK(slot == static_cast<int>(sr.slot_uid.size()));
+      sr.slot_uid.push_back(grant.uid);
+      for (SourceId src = inst.source_lo; src < inst.source_hi; ++src) {
+        ctx.comm.StartSource(src, ctx.clock.now());
+      }
+      outcomes[static_cast<size_t>(grant.uid)].joined = ctx.clock.now();
+      sr.outstanding_est += grant.est_bytes;
+    };
+    for (int64_t turns = 0; turns < config_.sync_turns;) {
+      while (!sr.mailbox.empty() &&
+             sr.mailbox.front().granted_at <= ctx.clock.now()) {
+        join_front();
+      }
+      if (sr.loop->active() == 0) {
+        // Nothing running: jump the idle shard's clock to its next
+        // admission, or yield to the barrier (waiting or finished).
+        if (sr.mailbox.empty()) return;
+        ctx.clock.StallUntil(sr.mailbox.front().granted_at);
+        continue;
+      }
+      Result<SharedQueryLoop::Turn> turn = sr.loop->Step();
+      ++turns;
+      if (!turn.ok()) {
+        sr.status = turn.status();
+        return;
+      }
+      if (turn->kind == SharedQueryLoop::Turn::Kind::kQueryDone) {
+        const int64_t uid = sr.slot_uid[static_cast<size_t>(turn->query)];
+        FleetQueryOutcome& oc = outcomes[static_cast<size_t>(uid)];
+        oc.completed = sr.loop->done_at(turn->query);
+        oc.completion_latency = oc.completed - oc.arrival;
+        MemoryBroker::Release rel;
+        rel.uid = uid;
+        rel.bytes = oc.est_bytes;
+        rel.completed_at = oc.completed;
+        broker.Submit(rel);
+        sr.outstanding_est -= oc.est_bytes;
+        ++sr.completed;
+      } else if (turn->kind == SharedQueryLoop::Turn::Kind::kAllStarved) {
+        SimTime next = turn->stall_until;
+        if (!sr.mailbox.empty()) {
+          next = std::min(next, sr.mailbox.front().granted_at);
+        }
+        if (next == kSimTimeNever) {
+          sr.status = Status::Internal("fleet shard cannot make progress");
+          return;
+        }
+        ctx.clock.StallUntil(next);
+      }
+    }
+  };
+
+  auto deliver = [&](const std::vector<std::vector<MemoryBroker::Grant>>&
+                         grants) {
+    size_t delivered = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      ShardRun& sr = shards[static_cast<size_t>(s)];
+      for (const MemoryBroker::Grant& grant : grants[static_cast<size_t>(s)]) {
+        outcomes[static_cast<size_t>(grant.uid)].admitted = grant.granted_at;
+        sr.mailbox.push_back(grant);
+        ++delivered;
+      }
+      std::sort(sr.mailbox.begin(), sr.mailbox.end(), GrantBefore);
+    }
+    return delivered;
+  };
+
+  // Conservation audit (barrier-side): everything the broker thinks is
+  // admitted must sit in exactly one place — running in a shard, waiting
+  // in a shard's mailbox. Anything else is a leaked or double-counted
+  // grant.
+  auto audit = [&] {
+    int64_t accounted = 0;
+    for (const ShardRun& sr : shards) {
+      accounted += sr.outstanding_est;
+      for (const MemoryBroker::Grant& grant : sr.mailbox) {
+        accounted += grant.est_bytes;
+      }
+    }
+    DQS_CHECK_MSG(broker.outstanding_bytes() == accounted,
+                  "fleet memory accounting mismatch: broker=%lld shards=%lld",
+                  static_cast<long long>(broker.outstanding_bytes()),
+                  static_cast<long long>(accounted));
+  };
+
+  ParallelRunner runner(jobs);
+  int64_t rounds = 0;
+  while (true) {
+    int completed_total = 0;
+    for (const ShardRun& sr : shards) completed_total += sr.completed;
+    if (completed_total == total) break;
+    DQS_CHECK_MSG(++rounds < (1LL << 32), "fleet livelock");
+
+    std::vector<std::function<void()>> tasks;
+    for (int s = 0; s < num_shards; ++s) {
+      const ShardRun& sr = shards[static_cast<size_t>(s)];
+      if (sr.loop->active() > 0 || !sr.mailbox.empty()) {
+        tasks.push_back([&advance, s] { advance(s); });
+      }
+    }
+    runner.Run(tasks);
+    for (const ShardRun& sr : shards) {
+      if (!sr.status.ok()) return sr.status;
+    }
+
+    size_t delivered = deliver(broker.Arbitrate(num_shards));
+    audit();
+    if (tasks.empty() && delivered == 0) {
+      // No shard could run and arbitration admitted nothing: only an
+      // over-budget head can block the queue. Force it through (the
+      // execution-level accountant still enforces; DQO spills).
+      if (!broker.HasQueued()) {
+        return Status::Internal("fleet cannot make progress");
+      }
+      deliver(broker.ForceAdmit(num_shards));
+      audit();
+    }
+  }
+  DQS_CHECK_MSG(broker.outstanding_bytes() == 0 && !broker.HasQueued(),
+                "fleet ended with outstanding grants");
+
+  FleetMetrics out;
+  out.rounds = rounds;
+  out.broker = broker.stats();
+  out.queries = std::move(outcomes);
+  out.shards.resize(static_cast<size_t>(num_shards));
+  // Aggregation order is part of the determinism contract: shards in
+  // ascending id, and within a shard the loop's slot order (= admission
+  // order).
+  for (int s = 0; s < num_shards; ++s) {
+    const ShardRun& sr = shards[static_cast<size_t>(s)];
+    for (int slot = 0; slot < sr.loop->num_queries(); ++slot) {
+      const int64_t uid = sr.slot_uid[static_cast<size_t>(slot)];
+      FleetQueryOutcome& oc = out.queries[static_cast<size_t>(uid)];
+      const PreparedTemplate& tpl =
+          templates_[static_cast<size_t>(oc.template_idx)];
+      const exec::ResultCollector& result = sr.loop->result(slot);
+      if (config_.verify_results &&
+          (result.count() != tpl.reference.result_card ||
+           result.checksum().value() != tpl.reference.checksum.value())) {
+        return Status::Internal("fleet result mismatch in query " +
+                                std::to_string(uid));
+      }
+      oc.metrics = sr.loop->QueryMetrics(slot);
+      oc.metrics.response_time = oc.completed - oc.joined;
+    }
+    FleetShardOutcome& so = out.shards[static_cast<size_t>(s)];
+    so.queries = sr.loop->num_queries();
+    so.makespan = sr.loop->num_queries() > 0 ? sr.ctx->clock.now() : 0;
+    so.busy_time = sr.ctx->clock.busy_time();
+    so.stalled_time = sr.ctx->clock.stalled_time();
+    so.peak_memory_bytes = sr.ctx->memory.peak();
+    so.disk = sr.ctx->disk.stats();
+    so.network = sr.ctx->net.stats();
+    so.temps = sr.ctx->temps.stats();
+    out.makespan = std::max(out.makespan, so.makespan);
+  }
+  return out;
+}
+
+}  // namespace dqsched::core

@@ -1,0 +1,153 @@
+// Admission-control memory broker for the sharded mediator fleet.
+//
+// The fleet's shards run on real threads, each against its own virtual
+// clock and ExecContext; the broker is the single piece of cross-shard
+// mutable state. Shards *submit* admission requests and completion
+// releases at any point of a round (a mutex-protected append — no
+// response is produced mid-round); the coordinator calls Arbitrate()
+// alone at the round barrier, where the broker sorts the round's events
+// into a canonical order and decides admissions against the global
+// memory budget. Because decisions happen only at barriers over sorted
+// event sets, they are independent of thread interleaving: the grant
+// sequence — and therefore every shard's execution — is byte-identical
+// across --jobs counts.
+//
+// Fairness: two admission classes, interactive and batch. Queued
+// interactive requests are always considered first; a batch request is
+// admitted when no queued interactive request fits (work-conserving, so
+// a huge interactive query cannot idle the budget that a small batch
+// query could use).
+//
+// Grant timestamps are virtual times with round granularity: a request
+// admitted in the same Arbitrate it was submitted, with no queued
+// request ahead of it in its class and no release needed to make room,
+// is stamped at its arrival time; any request that had to wait is
+// stamped max(arrival, completion time of the latest release applied) —
+// the broker cannot know the exact virtual instant headroom appeared
+// without serializing the shard clocks, so the latest applied release
+// stands in for it (documented in DESIGN.md §12).
+
+#ifndef DQSCHED_CORE_MEMORY_BROKER_H_
+#define DQSCHED_CORE_MEMORY_BROKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace dqsched::core {
+
+/// Admission class of a fleet query.
+enum class FairnessClass {
+  kInteractive,  // admitted first: latency-sensitive
+  kBatch,        // fills remaining budget
+};
+
+const char* FairnessClassName(FairnessClass c);
+
+class MemoryBroker {
+ public:
+  struct Config {
+    /// Global budget the sum of admitted queries' estimates must respect.
+    /// A query is always admitted when nothing is outstanding, even if
+    /// its estimate alone exceeds the budget (work conservation: the
+    /// per-shard execution engine spills under pressure; refusing forever
+    /// would wedge the fleet).
+    int64_t total_budget_bytes = 256LL * 1024 * 1024;
+  };
+
+  struct Request {
+    int64_t uid = 0;  // fleet-wide query id, unique
+    int shard = 0;
+    int64_t est_bytes = 0;  // admission estimate (>= 1)
+    FairnessClass fairness = FairnessClass::kInteractive;
+    SimTime arrival = 0;  // the query's workload arrival time
+  };
+
+  struct Release {
+    int64_t uid = 0;
+    int64_t bytes = 0;  // must equal the granted estimate
+    SimTime completed_at = 0;
+  };
+
+  struct Grant {
+    int64_t uid = 0;
+    int64_t est_bytes = 0;
+    /// Virtual admission time: >= the request's arrival; > arrival means
+    /// the query queued for memory.
+    SimTime granted_at = 0;
+  };
+
+  struct Stats {
+    int64_t grants_issued = 0;
+    int64_t releases_applied = 0;
+    /// Grants whose granted_at exceeds their arrival (queued for memory).
+    int64_t queued_admissions = 0;
+    /// Grants issued by ForceAdmit (progress backstop).
+    int64_t forced_admissions = 0;
+    int64_t peak_outstanding_bytes = 0;
+    int64_t peak_queued_requests = 0;
+  };
+
+  explicit MemoryBroker(const Config& config) : config_(config) {}
+
+  MemoryBroker(const MemoryBroker&) = delete;
+  MemoryBroker& operator=(const MemoryBroker&) = delete;
+
+  /// Thread-safe append; decided at the next Arbitrate.
+  void Submit(const Request& request);
+  /// Thread-safe append; applied (budget freed) at the next Arbitrate.
+  void Submit(const Release& release);
+
+  /// Round barrier (single-threaded by contract): applies the pending
+  /// releases in (completed_at, uid) order, enqueues the pending requests
+  /// in (arrival, uid) order onto their class queues, and admits queue
+  /// heads while the budget allows. Returns the new grants bucketed by
+  /// shard (outer index = shard id).
+  std::vector<std::vector<Grant>> Arbitrate(int num_shards);
+
+  /// Progress backstop: admits the head queued request (interactive
+  /// first) regardless of budget. Only legal when HasQueued(); the
+  /// coordinator calls it when no shard can advance otherwise.
+  std::vector<std::vector<Grant>> ForceAdmit(int num_shards);
+
+  bool HasQueued() const;
+  /// Sum of granted-but-not-released estimates.
+  int64_t outstanding_bytes() const { return outstanding_bytes_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct QueuedRequest {
+    Request request;
+    /// False only while the request has never survived an Arbitrate:
+    /// controls the arrival-stamped "immediate admission" carve-out.
+    bool waited = false;
+  };
+
+  /// True when `request` fits the remaining budget (or nothing is
+  /// outstanding — see Config::total_budget_bytes).
+  bool Fits(const QueuedRequest& qr) const;
+  void Admit(std::deque<QueuedRequest>* queue,
+             std::vector<std::vector<Grant>>* out, bool forced);
+
+  Config config_;
+
+  std::mutex mu_;  // guards the two pending inboxes only
+  std::vector<Request> pending_requests_;
+  std::vector<Release> pending_releases_;
+
+  // Barrier-side state: touched only inside Arbitrate/ForceAdmit.
+  std::deque<QueuedRequest> interactive_;
+  std::deque<QueuedRequest> batch_;
+  int64_t outstanding_bytes_ = 0;
+  /// Completion time of the latest release applied so far: the stamp
+  /// base for grants that waited.
+  SimTime last_freed_at_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dqsched::core
+
+#endif  // DQSCHED_CORE_MEMORY_BROKER_H_

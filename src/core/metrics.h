@@ -38,6 +38,28 @@ struct FaultStats {
   /// The run ended because the query deadline expired.
   bool deadline_hit = false;
 
+  /// Aggregates fault activity across executions (multi-query / fleet
+  /// accounting): counters sum, the two terminal flags OR. The merge is
+  /// commutative, but aggregators apply it in a documented stable order
+  /// (ascending query / shard index) so intermediate snapshots are
+  /// reproducible too.
+  FaultStats& operator+=(const FaultStats& other) {
+    stalls_injected += other.stalls_injected;
+    disconnects_injected += other.disconnects_injected;
+    reconnects += other.reconnects;
+    sources_killed += other.sources_killed;
+    sources_suspected += other.sources_suspected;
+    sources_dead += other.sources_dead;
+    recoveries += other.recoveries;
+    replays_discarded += other.replays_discarded;
+    source_down_events += other.source_down_events;
+    source_recovered_events += other.source_recovered_events;
+    sources_abandoned += other.sources_abandoned;
+    partial_result = partial_result || other.partial_result;
+    deadline_hit = deadline_hit || other.deadline_hit;
+    return *this;
+  }
+
   bool any() const {
     return stalls_injected != 0 || disconnects_injected != 0 ||
            reconnects != 0 || sources_killed != 0 || sources_suspected != 0 ||

@@ -3,14 +3,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <utility>
 
 #include "common/macros.h"
-#include "core/dqo.h"
-#include "core/dqp.h"
-#include "core/dqs.h"
 #include "core/execution_state.h"
+#include "core/shared_loop.h"
 #include "exec/exec_context.h"
 #include "wrapper/wrapper.h"
 
@@ -127,7 +124,11 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteSerial(
     out.total_result_tuples += metrics->result_count;
     out.peak_memory_bytes =
         std::max(out.peak_memory_bytes, metrics->peak_memory_bytes);
+    // Stable merge order: ascending query index (this loop).
     out.disk += metrics->disk;
+    out.network += metrics->network;
+    out.temps += metrics->temps;
+    out.fault += metrics->fault;
   }
   out.makespan = offset;
   SimDuration sum = 0;
@@ -153,274 +154,72 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
     }
   }
 
-  // Per-query machinery.
-  struct QueryRun {
-    std::unique_ptr<exec::ResultCollector> result;
-    std::unique_ptr<ExecutionState> state;
-    std::unique_ptr<Dqs> dqs;
-    std::unique_ptr<Dqp> dqp;
-    std::unique_ptr<Dqo> dqo;
-    SchedulingPlan sp;
-    bool need_replan = true;
-    bool done = false;
-    SimTime done_at = 0;
-    // kSeq: iterator-model chain order and position.
-    std::vector<ChainId> seq_order;
-    size_t seq_cursor = 0;
-    // Cached minimum NextArrival over this query's active fragments (the
-    // all-starved scan). Valid while `arrival_epoch` — the query's
-    // structural version plus the sum of its sources' delivery versions —
-    // holds and no contributing source answers time-dependently
-    // (TimeDependentArrival: temp-backed values drift with the clock).
-    SimTime arrival_min = 0;
-    uint64_t arrival_epoch = 0;
-    bool arrival_valid = false;
-    bool arrival_volatile = false;
-  };
-  std::vector<QueryRun> runs(static_cast<size_t>(nq));
+  SharedQueryLoop::Options loop_options;
+  loop_options.strategy = strategy;
+  loop_options.config = config_.strategy;
+  loop_options.slice_batches = config_.slice_batches;
+  loop_options.targeted_replans = config_.targeted_replans;
+  loop_options.kernels = config_.kernels;
+  SharedQueryLoop loop(&ctx, loop_options);
   for (int qi = 0; qi < nq; ++qi) {
-    QueryRun& run = runs[static_cast<size_t>(qi)];
-    run.result = std::make_unique<exec::ResultCollector>();
-    ExecutionOptions options = OptionsFor(strategy);
-    options.result_override = run.result.get();
-    options.shared_context = true;
-    options.kernels = config_.kernels;
-    run.state = std::make_unique<ExecutionState>(
-        &queries_[static_cast<size_t>(qi)].compiled, &ctx, options);
-    run.dqs = std::make_unique<Dqs>(config_.strategy.dqs);
-    DqpConfig dqp_config = config_.strategy.dqp;
-    dqp_config.slice_batches = config_.slice_batches;
-    dqp_config.yield_on_starvation = true;
-    run.dqp = std::make_unique<Dqp>(dqp_config);
-    run.dqo = std::make_unique<Dqo>();
-    if (strategy == StrategyKind::kSeq) {
-      run.seq_order = queries_[static_cast<size_t>(qi)]
-                          .compiled.IteratorModelOrder();
-    }
-  }
-
-  auto build_sp = [&](QueryRun& run) -> Status {
-    if (strategy == StrategyKind::kDse) {
-      Result<SchedulingPlan> sp =
-          run.dqs->ComputePlan(*run.state, ctx, *run.dqo);
-      if (!sp.ok()) return sp.status();
-      run.sp = std::move(sp.value());
-      return Status::Ok();
-    }
-    // kSeq: the current chain of the iterator order, alone.
-    while (run.seq_cursor < run.seq_order.size() &&
-           run.state->ChainDone(run.seq_order[run.seq_cursor])) {
-      ++run.seq_cursor;
-    }
-    DQS_CHECK(run.seq_cursor < run.seq_order.size());
-    run.sp = SchedulingPlan{};
-    run.sp.fragments.push_back(
-        run.state->ChainFragment(run.seq_order[run.seq_cursor]));
-    run.sp.critical_ns.push_back(0.0);
-    return Status::Ok();
-  };
-
-  // Every global source id maps to exactly one owning query (catalogs are
-  // disjoint and offsets contiguous): the targeted-replan subscription.
-  std::vector<int> source_owner;
-  source_owner.reserve(static_cast<size_t>(ctx.comm.num_sources()));
-  for (int qi = 0; qi < nq; ++qi) {
-    const int ns = queries_[static_cast<size_t>(qi)].catalog.num_sources();
-    source_owner.insert(source_owner.end(), static_cast<size_t>(ns), qi);
-  }
-
-  // The per-query epoch guarding the arrival cache: any mutation that can
-  // move the query's earliest arrival bumps one of these monotone
-  // counters, so an unchanged sum proves the cached minimum still holds.
-  auto query_epoch = [&](int qi) {
-    const QueryRun& r = runs[static_cast<size_t>(qi)];
     const PreparedQuery& q = queries_[static_cast<size_t>(qi)];
-    uint64_t e = r.state->structural_version();
-    const SourceId lo = q.source_offset;
-    const SourceId hi = lo + q.catalog.num_sources();
-    for (SourceId s = lo; s < hi; ++s) e += ctx.comm.SourceVersion(s);
-    return e;
-  };
-
-  // Lazy min-heap over per-query earliest arrivals (same stale-entry
-  // pattern as CommManager's pump heap): `arrival_key[qi]` is the only
-  // live key for query qi; entries whose key differs are skipped on pop.
-  std::priority_queue<std::pair<SimTime, int>,
-                      std::vector<std::pair<SimTime, int>>, std::greater<>>
-      arrival_heap;
-  std::vector<SimTime> arrival_key(static_cast<size_t>(nq), kSimTimeNever);
-
-  // Round-robin over the undone queries as a circular list: identical
-  // visit order to indexing turn % nq, but finished queries cost nothing
-  // to skip.
-  std::vector<int> ring_next(static_cast<size_t>(nq));
-  for (int qi = 0; qi < nq; ++qi) {
-    ring_next[static_cast<size_t>(qi)] = (qi + 1) % nq;
+    SharedQueryDesc desc;
+    desc.compiled = &q.compiled;
+    desc.source_lo = q.source_offset;
+    desc.source_hi = q.source_offset + q.catalog.num_sources();
+    loop.AddQuery(desc);
   }
-  int ring_prev = nq - 1;  // first visit: ring_next[nq - 1] == 0
 
-  int remaining = nq;
-  int starved_streak = 0;
-  int64_t guard = 0;
-  while (remaining > 0) {
-    DQS_CHECK_MSG(++guard < (1LL << 40), "multi-query livelock");
-    const int cur = ring_next[static_cast<size_t>(ring_prev)];
-    QueryRun& run = runs[static_cast<size_t>(cur)];
-
-    if (run.need_replan) {
-      DQS_RETURN_IF_ERROR(build_sp(run));
-      run.need_replan = false;
+  while (loop.active() > 0) {
+    Result<SharedQueryLoop::Turn> turn = loop.Step();
+    if (!turn.ok()) return turn.status();
+    if (turn->kind != SharedQueryLoop::Turn::Kind::kAllStarved) continue;
+    // Every unfinished query starves: advance the shared clock to the
+    // earliest arrival any of them waits for. The loop never touches the
+    // clock — the stall (and the charge-order discipline around it) lives
+    // here in the driver.
+    if (turn->stall_until == kSimTimeNever) {
+      return Status::Internal("multi-query mix cannot make progress");
     }
-    Result<Event> evt = run.dqp->RunPhase(*run.state, run.sp, ctx);
-    if (!evt.ok()) return evt.status();
-#ifdef DQS_MQ_DEBUG
-    if ((guard & ((1LL << 20) - 1)) == 0) {
-      std::fprintf(stderr,
-                   "[mq] it=%lld t=%.6fms q=%d evt=%s frag=%d streak=%d "
-                   "rem=%d heap=%zu\n",
-                   static_cast<long long>(guard), ToMillis(ctx.clock.now()),
-                   cur, EventKindName(evt->kind), evt->fragment,
-                   starved_streak, remaining, arrival_heap.size());
-    }
-#endif
-    if (evt->kind != EventKind::kStarved) starved_streak = 0;
-    switch (evt->kind) {
-      case EventKind::kEndOfQf:
-        run.state->OnFragmentFinished(evt->fragment, ctx);
-        run.need_replan = true;
-        if (run.state->QueryDone()) {
-          run.done = true;
-          run.done_at = ctx.clock.now();
-          --remaining;
-        }
-        break;
-      case EventKind::kRateChange:
-        // DSE refreshes the snapshot inside ComputePlan; SEQ has no
-        // planning phase, so acknowledge the new estimates here or the
-        // same signal fires forever.
-        if (strategy == StrategyKind::kSeq) {
-          ctx.comm.MarkPlanned(ctx.clock.now());
-        }
-        if (config_.targeted_replans) {
-          // Route the replan to the query subscribed to the drifting
-          // source rather than the one that happened to observe the
-          // signal. Unattributable or orphaned signals fall back to the
-          // observer so the estimate snapshot is always re-acknowledged.
-          const SourceId src = ctx.comm.LastRateChangeSource();
-          const int owner =
-              src == kInvalidId ? -1 : source_owner[static_cast<size_t>(src)];
-          if (owner >= 0 && !runs[static_cast<size_t>(owner)].done) {
-            runs[static_cast<size_t>(owner)].need_replan = true;
-          } else {
-            run.need_replan = true;
-          }
-        } else {
-          run.need_replan = true;
-        }
-        break;
-      case EventKind::kTimeout:
-      case EventKind::kPlanExhausted:
-        run.need_replan = true;
-        break;
-      case EventKind::kMemoryOverflow:
-        DQS_RETURN_IF_ERROR(run.dqo->HandleMemoryOverflow(
-            *run.state, ctx, run.state->FragmentChain(evt->fragment)));
-        run.need_replan = true;
-        break;
-      case EventKind::kSourceDown:
-        if (ctx.comm.SourceDead(evt->source)) {
-          return Status::Unavailable("source " + std::to_string(evt->source) +
-                                     " declared dead in multi-query mix");
-        }
-        run.need_replan = true;
-        break;
-      case EventKind::kSourceRecovered:
-        run.need_replan = true;
-        break;
-      case EventKind::kDeadlineExceeded:
-        return Status::DeadlineExceeded(
-            "query deadline expired in multi-query mix");
-      case EventKind::kSliceEnd:
-        break;  // keep the plan, yield the CPU
-      case EventKind::kStarved: {
-        run.need_replan = true;
-        if (++starved_streak < remaining) break;
-        // Every unfinished query starves: advance the shared clock to the
-        // earliest arrival any of them waits for. Per-query minima come
-        // from the arrival cache; only queries whose epoch drifted (or
-        // whose minimum is time-dependent) rescan their fragments.
-        for (int qi = 0; qi < nq; ++qi) {
-          QueryRun& other = runs[static_cast<size_t>(qi)];
-          if (other.done) continue;
-          const uint64_t epoch = query_epoch(qi);
-          if (other.arrival_valid && !other.arrival_volatile &&
-              other.arrival_epoch == epoch) {
-            continue;
-          }
-          SimTime q_min = kSimTimeNever;
-          bool is_volatile = false;
-          const ExecutionState& state = *other.state;
-          for (int f = 0; f < state.num_fragments(); ++f) {
-            if (!state.FragmentActive(f)) continue;
-            const exec::FragmentRuntime& rt = state.fragment(f);
-            q_min = std::min(q_min, rt.NextArrival(ctx));
-            is_volatile = is_volatile || rt.TimeDependentArrival();
-          }
-          other.arrival_min = q_min;
-          other.arrival_epoch = epoch;
-          other.arrival_valid = true;
-          other.arrival_volatile = is_volatile;
-          arrival_key[static_cast<size_t>(qi)] = q_min;
-          if (q_min != kSimTimeNever) arrival_heap.push({q_min, qi});
-        }
-        SimTime next = kSimTimeNever;
-        while (!arrival_heap.empty()) {
-          const auto [at, qi] = arrival_heap.top();
-          if (runs[static_cast<size_t>(qi)].done ||
-              arrival_key[static_cast<size_t>(qi)] != at) {
-            arrival_heap.pop();  // stale entry, a newer key superseded it
-            continue;
-          }
-          next = at;
-          break;
-        }
-        if (next == kSimTimeNever) {
-          return Status::Internal("multi-query mix cannot make progress");
-        }
-        ctx.clock.StallUntil(next);
-        starved_streak = 0;
-        break;
-      }
-    }
-
-    if (run.done) {
-      ring_next[static_cast<size_t>(ring_prev)] =
-          ring_next[static_cast<size_t>(cur)];
-    } else {
-      ring_prev = cur;
-    }
+    ctx.clock.StallUntil(turn->stall_until);
   }
 
   MultiQueryMetrics out;
   out.makespan = ctx.clock.now();
   SimDuration sum = 0;
   for (int qi = 0; qi < nq; ++qi) {
-    const QueryRun& run = runs[static_cast<size_t>(qi)];
     const PreparedQuery& q = queries_[static_cast<size_t>(qi)];
+    const exec::ResultCollector& result = loop.result(qi);
     if (config_.verify_results &&
-        (run.result->count() != q.reference.result_card ||
-         run.result->checksum().value() != q.reference.checksum.value())) {
+        (result.count() != q.reference.result_card ||
+         result.checksum().value() != q.reference.checksum.value())) {
       return Status::Internal("shared multi-query result mismatch in query " +
                               std::to_string(qi));
     }
-    out.response_times.push_back(run.done_at);
-    sum += run.done_at;
-    out.total_degradations += run.state->degradations();
-    out.total_result_tuples += run.result->count();
+    out.response_times.push_back(loop.done_at(qi));
+    sum += loop.done_at(qi);
+    out.total_degradations += loop.degradations(qi);
+    out.total_result_tuples += result.count();
   }
   out.mean_response = sum / static_cast<SimDuration>(nq);
   out.peak_memory_bytes = ctx.memory.peak();
+  // Shared-device aggregates come from the one shared context; the
+  // per-wrapper injection counters fold in ascending source id.
   out.disk = ctx.disk.stats();
+  out.network = ctx.net.stats();
+  out.temps = ctx.temps.stats();
+  out.fault.sources_suspected = ctx.comm.fault_suspicions();
+  out.fault.sources_dead = ctx.comm.fault_declared_dead();
+  out.fault.recoveries = ctx.comm.fault_recoveries();
+  out.fault.replays_discarded = ctx.comm.replay_discarded_total();
+  for (SourceId s = 0; s < ctx.comm.num_sources(); ++s) {
+    const wrapper::FaultInjectionStats* fs = ctx.comm.wrapper(s).fault_stats();
+    if (fs == nullptr) continue;
+    out.fault.stalls_injected += fs->stalls;
+    out.fault.disconnects_injected += fs->disconnects;
+    out.fault.reconnects += fs->reconnects;
+    if (fs->died) ++out.fault.sources_killed;
+  }
   return out;
 }
 

@@ -70,7 +70,14 @@ struct MultiQueryMetrics {
   int64_t total_degradations = 0;
   int64_t total_result_tuples = 0;
   int64_t peak_memory_bytes = 0;
+  /// Shared-device aggregates. Merge order is stable and documented:
+  /// kSerial sums per-query stats in ascending query index; kShared reads
+  /// the one shared context (per-wrapper fault injection counters are
+  /// folded in ascending source id either way).
   sim::DiskStats disk;
+  sim::NetworkStats network;
+  storage::TempStoreStats temps;
+  FaultStats fault;
 };
 
 /// A mix of integration queries sharing one mediator.

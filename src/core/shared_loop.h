@@ -1,0 +1,184 @@
+// The shared multi-query event loop, extracted from
+// MultiQueryMediator::ExecuteShared so one implementation serves both the
+// single-mediator shared mode and the fleet executor's per-shard loops.
+//
+// N queries share one ExecContext (clock, devices, CM). Each query keeps
+// its own DQS/DQP/DQO machinery and result collector; the loop round-robins
+// batch slices over the undone queries (a circular ring, so finished
+// queries cost nothing to skip) and detects the all-starved condition with
+// an epoch-guarded per-query arrival cache plus a lazy min-heap.
+//
+// The loop itself never mutates the virtual clock: Step() reports the
+// stall target (Turn::kAllStarved) and the *caller* owns the
+// StallUntil — that keeps the charge-order discipline (DESIGN §10) in the
+// two reviewed driver files (core/multi_query.cc, core/fleet_executor.cc)
+// and lets the fleet cap a stall at its next query arrival.
+//
+// Queries may join dynamically (AddQuery between Step() calls): the fleet
+// admits queries as its memory broker grants them. A joining query is
+// spliced into the ring behind the current tail, so the visit order of an
+// all-upfront batch is exactly the historical 0, 1, ..., N-1.
+
+#ifndef DQSCHED_CORE_SHARED_LOOP_H_
+#define DQSCHED_CORE_SHARED_LOOP_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "core/dqo.h"
+#include "core/dqp.h"
+#include "core/dqs.h"
+#include "core/execution_state.h"
+#include "core/metrics.h"
+#include "core/strategy.h"
+#include "exec/exec_context.h"
+#include "plan/compiled_plan.h"
+
+namespace dqsched::core {
+
+/// One query's registration in the shared loop. The compiled plan must be
+/// annotated, its chain sources remapped into the context's global id
+/// space, and it must outlive the loop; [source_lo, source_hi) is the
+/// query's contiguous range of global source ids (the arrival cache's
+/// epoch and the targeted-replan subscription read it).
+struct SharedQueryDesc {
+  const plan::CompiledPlan* compiled = nullptr;
+  SourceId source_lo = 0;
+  SourceId source_hi = 0;
+};
+
+class SharedQueryLoop {
+ public:
+  struct Options {
+    StrategyKind strategy = StrategyKind::kDse;
+    /// Per-query DQS/DQP tunables; the loop forces slice_batches and
+    /// yield_on_starvation onto every query's DqpConfig.
+    StrategyConfig config;
+    /// Batches one query executes before yielding to the next.
+    int64_t slice_batches = 32;
+    /// Route RateChange replans to the subscribed query (DESIGN §9).
+    bool targeted_replans = false;
+    exec::KernelConfig kernels;
+  };
+
+  /// `ctx` must outlive the loop. Every wrapper the registered queries
+  /// read must already be added to ctx->comm (held wrappers are fine).
+  SharedQueryLoop(exec::ExecContext* ctx, Options options);
+
+  SharedQueryLoop(const SharedQueryLoop&) = delete;
+  SharedQueryLoop& operator=(const SharedQueryLoop&) = delete;
+
+  /// Registers a query and splices it into the rotation; returns its slot.
+  int AddQuery(const SharedQueryDesc& desc);
+
+  /// The outcome of one round-robin turn.
+  struct Turn {
+    enum class Kind {
+      kProgress,    // a slice ran (or a replan was absorbed)
+      kQueryDone,   // `query` finished on this turn
+      kAllStarved,  // every active query starves until `stall_until`
+      kIdle,        // no active queries registered
+    };
+    Kind kind = Kind::kProgress;
+    int query = -1;
+    /// kAllStarved: the earliest arrival any active query waits for;
+    /// kSimTimeNever when none exists (the mix is wedged). The caller
+    /// stalls the clock (or errors) — the loop does not touch it.
+    SimTime stall_until = kSimTimeNever;
+  };
+
+  /// Runs one turn of the current query. Never stalls the clock.
+  Result<Turn> Step();
+
+  int num_queries() const { return static_cast<int>(runs_.size()); }
+  /// Registered queries not yet finished.
+  int active() const { return active_; }
+  bool done(int query) const {
+    return runs_[static_cast<size_t>(query)]->done;
+  }
+  /// Virtual completion time (valid once done).
+  SimTime done_at(int query) const {
+    return runs_[static_cast<size_t>(query)]->done_at;
+  }
+  const exec::ResultCollector& result(int query) const {
+    return *runs_[static_cast<size_t>(query)]->result;
+  }
+  int64_t degradations(int query) const {
+    return runs_[static_cast<size_t>(query)]->state->degradations();
+  }
+
+  /// The per-query-attributable slice of ExecutionMetrics: result,
+  /// planning/execution phase counts, degradation/overflow/timeout
+  /// activity. Shared-device fields (busy/stalled time, disk, network,
+  /// temps, peak memory) stay zero — they belong to the owning context
+  /// and are aggregated by the driver in its documented merge order.
+  ExecutionMetrics QueryMetrics(int query) const;
+
+ private:
+  struct QueryRun {
+    SharedQueryDesc desc;
+    std::unique_ptr<exec::ResultCollector> result;
+    std::unique_ptr<ExecutionState> state;
+    std::unique_ptr<Dqs> dqs;
+    std::unique_ptr<Dqp> dqp;
+    std::unique_ptr<Dqo> dqo;
+    SchedulingPlan sp;
+    bool need_replan = true;
+    bool done = false;
+    SimTime done_at = 0;
+    // kSeq: iterator-model chain order and position.
+    std::vector<ChainId> seq_order;
+    size_t seq_cursor = 0;
+    // Cached minimum NextArrival over this query's active fragments (the
+    // all-starved scan). Valid while `arrival_epoch` — the query's
+    // structural version plus the sum of its sources' delivery versions —
+    // holds and no contributing source answers time-dependently
+    // (TimeDependentArrival: temp-backed values drift with the clock).
+    SimTime arrival_min = 0;
+    uint64_t arrival_epoch = 0;
+    bool arrival_valid = false;
+    bool arrival_volatile = false;
+    // Event counters surfaced through QueryMetrics.
+    int64_t timeouts = 0;
+    int64_t rate_change_events = 0;
+  };
+
+  Status BuildPlan(QueryRun& run);
+  uint64_t QueryEpoch(const QueryRun& run) const;
+  /// The all-starved stall target: refreshes stale per-query minima and
+  /// pops the lazy heap. kSimTimeNever when no active query ever receives
+  /// another tuple.
+  SimTime EarliestArrival();
+
+  exec::ExecContext* ctx_;
+  Options options_;
+  std::vector<std::unique_ptr<QueryRun>> runs_;
+  /// Global source id -> owning slot (targeted replans); -1 = unowned.
+  std::vector<int> source_owner_;
+  /// Lazy min-heap over per-query earliest arrivals (same stale-entry
+  /// pattern as CommManager's pump heap): `arrival_key_[q]` is the only
+  /// live key for slot q; entries whose key differs are skipped on pop.
+  std::priority_queue<std::pair<SimTime, int>,
+                      std::vector<std::pair<SimTime, int>>, std::greater<>>
+      arrival_heap_;
+  std::vector<SimTime> arrival_key_;
+  /// Round-robin ring over the active queries. ring_next_[tail_] is the
+  /// ring head; ring_prev_ is the slot visited last (the next visit is
+  /// ring_next_[ring_prev_]).
+  std::vector<int> ring_next_;
+  int ring_tail_ = -1;
+  int ring_prev_ = -1;
+  int active_ = 0;
+  int starved_streak_ = 0;
+  int64_t guard_ = 0;
+};
+
+}  // namespace dqsched::core
+
+#endif  // DQSCHED_CORE_SHARED_LOOP_H_

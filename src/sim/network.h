@@ -21,6 +21,14 @@ struct NetworkStats {
   int64_t tuples_received = 0;
   int64_t messages_received = 0;
   SimDuration receive_cpu = 0;  // mediator CPU spent in receive path
+
+  /// Aggregates stats across executions (multi-query accounting).
+  NetworkStats& operator+=(const NetworkStats& other) {
+    tuples_received += other.tuples_received;
+    messages_received += other.messages_received;
+    receive_cpu += other.receive_cpu;
+    return *this;
+  }
 };
 
 /// Accounts mediator CPU for receiving tuples from the network. Tuples are

@@ -33,6 +33,15 @@ struct TempStoreStats {
   int64_t tuples_written = 0;
   int64_t tuples_read = 0;
   int64_t cache_served_reads = 0;  // reads served from the I/O cache
+
+  /// Aggregates stats across executions (multi-query accounting).
+  TempStoreStats& operator+=(const TempStoreStats& other) {
+    temps_created += other.temps_created;
+    tuples_written += other.tuples_written;
+    tuples_read += other.tuples_read;
+    cache_served_reads += other.cache_served_reads;
+    return *this;
+  }
 };
 
 /// Manages simulated on-disk temporary relations. Single-threaded; all

@@ -57,8 +57,22 @@ void SimWrapper::ApplyFaults(int64_t pending_in_run) {
   }
 }
 
+void SimWrapper::Hold() {
+  DQS_CHECK_MSG(next_index_ == 0 && !suspended_ &&
+                    stats_.tuples_delivered == 0,
+                "wrapper held after pumping started");
+  held_ = true;
+}
+
+void SimWrapper::Start(SimTime at) {
+  DQS_CHECK_MSG(held_, "Start on a wrapper that was never held");
+  held_ = false;
+  next_ready_ += at;
+}
+
 void SimWrapper::PumpInto(comm::TupleQueue& queue, SimTime now,
                           ArrivalObserver* observer) {
+  if (held_) return;  // gated: nothing happens until Start
   if (dead_) return;  // a dead source neither delivers nor ends its stream
   if (Exhausted()) {
     // Covers empty relations, where the stream closes without any push.
@@ -123,7 +137,7 @@ void SimWrapper::PumpInto(comm::TupleQueue& queue, SimTime now,
 }
 
 SimTime SimWrapper::NextArrival() const {
-  if (dead_ || Exhausted() || suspended_) return kSimTimeNever;
+  if (held_ || dead_ || Exhausted() || suspended_) return kSimTimeNever;
   return next_ready_;
 }
 

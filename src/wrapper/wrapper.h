@@ -88,10 +88,22 @@ class SimWrapper {
   }
 
   /// Earliest virtual time the next tuple can enter the queue given space,
-  /// or kSimTimeNever when exhausted or suspended (a suspended wrapper only
+  /// or kSimTimeNever when exhausted, suspended (a suspended wrapper only
   /// resumes via PumpInto after a drain, and its queue is non-empty by
-  /// definition).
+  /// definition), or held.
   SimTime NextArrival() const;
+
+  /// Gates production on an explicit Start: a held wrapper delivers
+  /// nothing and answers NextArrival with kSimTimeNever. Must precede any
+  /// pumping — the fleet holds every wrapper of a not-yet-admitted query.
+  void Hold();
+  /// Releases a hold at virtual time `at`: the source behaves as if it
+  /// came online then, so its already-drawn first-tuple offset (and any
+  /// fault-schedule silence) lands relative to `at`, keeping the delay
+  /// stream bit-identical to an unheld wrapper started at t=0 shifted by
+  /// `at`.
+  void Start(SimTime at);
+  bool held() const { return held_; }
 
   /// Installs a fault schedule; must precede any pumping. `seed` feeds the
   /// model's own Rng stream, so the delay draws are bit-identical with and
@@ -142,6 +154,7 @@ class SimWrapper {
   int64_t next_index_ = 0;
   SimTime next_ready_ = 0;
   bool suspended_ = false;
+  bool held_ = false;
   int64_t max_run_ = kNoRunCap;
   /// Arrival timestamps of the run being delivered (reused across pumps).
   std::vector<SimTime> ts_scratch_;

@@ -1,0 +1,6 @@
+// Blessed owner: the coordinator arbitrates at the round barrier.
+#include "core/memory_broker.h"
+
+static MemoryBroker broker;
+
+void Round() { broker.Arbitrate(); }

@@ -1,0 +1,5 @@
+// Blessed owner: the broker may of course name itself.
+class MemoryBroker {
+ public:
+  void Arbitrate();
+};

@@ -1,0 +1,6 @@
+#include "core/memory_broker.h"
+
+void Plan() {
+  MemoryBroker* broker = nullptr;
+  (void)broker;
+}

@@ -49,6 +49,15 @@ canonical-order cardinalities):
                    call site anywhere else needs a review and an explicit
                    entry in CHARGE_BLESSED.
 
+shard affinity (DESIGN §12 — the admission-control MemoryBroker is the
+fleet's only cross-shard mutable state):
+  shard-affinity   the broker API (its header and the MemoryBroker class
+                   name) may appear only in core/memory_broker.* and
+                   core/fleet_executor.*; any other src/ file taking a
+                   broker dependency would couple shards outside the
+                   arbitration barrier and break the jobs-invariance
+                   argument.
+
 legacy conventions (ported from dqs_lint.py, same semantics):
   guard            include guards are DQSCHED_<REL_PATH>_H_ with a
                    matching `#endif  // ...` trailer
@@ -131,7 +140,13 @@ CHARGE_BLESSED = {
     "core/dqp.cc",           # phase-boundary stalls
     "core/dphj.cc",          # the DPHJ comparison executor
     "core/multi_query.cc",   # shared-loop stalls
+    "core/fleet_executor.cc",  # fleet shard stalls at grant boundaries
 }
+
+# Owners of the fleet's cross-shard state (DESIGN §12): the broker itself
+# and the coordinator that arbitrates at the round barrier. Any other
+# file naming the broker couples shards outside the barrier.
+BROKER_BLESSED_PREFIXES = ("core/memory_broker", "core/fleet_executor")
 
 CHARGE_METHODS = {
     "Advance", "AdvanceTo", "BusyUntil", "StallUntil",
@@ -830,6 +845,32 @@ def check_charge_order(an, f):
                     "blessed charge-discipline files (DESIGN §10); simulated "
                     "charges are derived only from canonical-order "
                     "cardinalities in reviewed sites")
+
+
+# --------------------------------------------------------------------------
+# Shard-affinity rule.
+# --------------------------------------------------------------------------
+
+
+@rule("shard-affinity", "file")
+def check_shard_affinity(an, f):
+    if f.rel.startswith(BROKER_BLESSED_PREFIXES):
+        return
+    for line, target in f.quoted_includes:
+        if target == "core/memory_broker.h":
+            an.emit(f, line, "shard-affinity",
+                    '#include "core/memory_broker.h" outside the fleet '
+                    "coordinator; the broker is the fleet's only "
+                    "cross-shard state (DESIGN §12) and only "
+                    "core/memory_broker.* and core/fleet_executor.* may "
+                    "depend on it")
+    for tok in f.tokens:
+        if tok.kind == "id" and tok.value == "MemoryBroker":
+            an.emit(f, tok.line, "shard-affinity",
+                    "`MemoryBroker` named outside core/memory_broker.* and "
+                    "core/fleet_executor.*; shards must stay affine — "
+                    "cross-shard coupling goes through the coordinator's "
+                    "arbitration barrier (DESIGN §12)")
 
 
 # --------------------------------------------------------------------------
