@@ -236,6 +236,20 @@ LatencySummary SummarizeLatencies(const std::vector<SimDuration>& latencies) {
   return summary;
 }
 
+std::string FormatStatusCounts(
+    const std::array<int64_t, core::kNumQueryStatuses>& counts) {
+  std::string out;
+  for (int i = 0; i < core::kNumQueryStatuses; ++i) {
+    if (counts[static_cast<size_t>(i)] == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += core::QueryStatusName(static_cast<core::QueryStatus>(i));
+    out += '=';
+    out += std::to_string(counts[static_cast<size_t>(i)]);
+  }
+  if (out.empty()) out = "ok=0";
+  return out;
+}
+
 void PrintPreamble(const char* title, const char* paper_artifact,
                    const BenchOptions& options) {
   std::printf("== %s ==\n", title);

@@ -6,6 +6,7 @@
 #ifndef DQSCHED_BENCH_BENCH_COMMON_H_
 #define DQSCHED_BENCH_BENCH_COMMON_H_
 
+#include <array>
 #include <functional>
 #include <optional>
 #include <string>
@@ -100,6 +101,12 @@ struct LatencySummary {
 };
 
 LatencySummary SummarizeLatencies(const std::vector<SimDuration>& latencies);
+
+/// "ok=7 partial=1" — the non-zero per-status counts in enum order, or
+/// "ok=0" when every count is zero. Used by the bench_fleet and
+/// bench_multi_query status columns (§13 lifecycle taxonomy).
+std::string FormatStatusCounts(
+    const std::array<int64_t, core::kNumQueryStatuses>& counts);
 
 /// Prints the standard bench preamble.
 void PrintPreamble(const char* title, const char* paper_artifact,

@@ -11,8 +11,10 @@
 // virtual column is byte-identical across job counts (DESIGN.md §12).
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,11 +26,48 @@
 
 int main(int argc, char** argv) {
   using namespace dqsched;
-  const auto options = bench::ParseOptions(argc, argv, /*default_scale=*/1.0);
+  // Lifecycle flags (this bench only) are peeled off before the shared
+  // parser sees the rest:
+  //   --storm=<kind>    correlated fault storm: region-outage | cascade |
+  //                     flapping (default none)
+  //   --deadline=<sec>  per-attempt deadline budget in scale-1 virtual
+  //                     seconds, multiplied by --scale like the query
+  //                     durations (default 0 = no deadlines)
+  wrapper::StormKind storm_kind = wrapper::StormKind::kNone;
+  double deadline_s = 0.0;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--storm=", 0) == 0) {
+      if (!wrapper::ParseStormKind(arg.substr(8), &storm_kind)) {
+        std::fprintf(stderr, "unknown --storm kind: %s\n", arg.c_str() + 8);
+        return 2;
+      }
+    } else if (arg.rfind("--deadline=", 0) == 0) {
+      char* end = nullptr;
+      deadline_s = std::strtod(arg.c_str() + 11, &end);
+      if (end == nullptr || *end != '\0' || arg.size() == 11 ||
+          deadline_s < 0) {
+        std::fprintf(stderr, "bad --deadline value: %s\n", arg.c_str());
+        return 2;
+      }
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const auto options = bench::ParseOptions(static_cast<int>(rest.size()),
+                                           rest.data(), /*default_scale=*/1.0);
   bench::PrintPreamble(
       "Sharded mediator fleet (open-loop Poisson stream)",
       "Section 6 (multi-query execution: throughput vs response time)",
       options);
+  if (storm_kind != wrapper::StormKind::kNone || deadline_s > 0) {
+    std::printf("lifecycle: storm=%s deadline=%s\n\n",
+                wrapper::StormKindName(storm_kind),
+                deadline_s > 0 ? TablePrinter::Num(deadline_s).c_str()
+                               : "none");
+  }
 
   // Warm plan cache: three templates. t0 is the paper query at quarter
   // scale (the interactive mix); t1/t2 slow one relation 3x — the
@@ -74,6 +113,22 @@ int main(int argc, char** argv) {
   // the estimates grow linearly with --scale, so the budget does too.
   config.memory_budget_bytes = std::max<int64_t>(
       1 << 20, static_cast<int64_t>(64.0 * 1024 * 1024 * options.scale));
+  // Lifecycle: the storm's absolute times scale with the query durations
+  // so the scenario hits the same phase of the stream at every --scale.
+  auto scaled = [&](SimDuration d) {
+    return static_cast<SimDuration>(static_cast<double>(d) * options.scale);
+  };
+  if (deadline_s > 0) config.deadline_budget = scaled(Seconds(deadline_s));
+  config.storm.kind = storm_kind;
+  config.storm.onset = scaled(Seconds(0.3));
+  config.storm.outage = scaled(Seconds(2.0));
+  config.storm.wave_stall = scaled(Milliseconds(400));
+  config.storm.propagation = scaled(Milliseconds(150));
+  config.storm.flap_period = scaled(Milliseconds(300));
+  config.breaker.cooldown = scaled(Seconds(1));
+  config.breaker.max_cooldown = scaled(Seconds(30));
+  config.retry_backoff_initial =
+      std::max<SimDuration>(1, scaled(Milliseconds(50)));
 
   Result<core::FleetExecutor> fleet = core::FleetExecutor::Create(
       std::move(templates), std::move(workload), config);
@@ -84,8 +139,9 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::string> headers = {
-      "per-query", "class",   "queries", "makespan (s)", "throughput (q/s)",
-      "p50 (s)",   "p95 (s)", "p99 (s)", "queued",       "forced"};
+      "per-query", "class",   "queries",  "makespan (s)", "throughput (q/s)",
+      "p50 (s)",   "p95 (s)", "p99 (s)",  "statuses",     "queued",
+      "forced"};
   if (options.walls) headers.push_back("wall (ms)");
   TablePrinter table(std::move(headers));
 
@@ -118,9 +174,19 @@ int main(int argc, char** argv) {
          core::FairnessClass::kBatch},
     };
     for (const ClassFilter& filter : filters) {
+      // Percentiles summarize queries that produced an answer (ok or
+      // partial); every other terminal status shows up in the statuses
+      // column instead of polluting the latency distribution — the whole
+      // point of the taxonomy is that a failed query is not a slow one.
       std::vector<SimDuration> latencies;
+      std::array<int64_t, core::kNumQueryStatuses> counts{};
+      int matched = 0;
       for (const core::FleetQueryOutcome& q : r->queries) {
-        if (filter.all || q.fairness == filter.cls) {
+        if (!filter.all && q.fairness != filter.cls) continue;
+        ++matched;
+        ++counts[static_cast<size_t>(q.status)];
+        if (q.status == core::QueryStatus::kOk ||
+            q.status == core::QueryStatus::kPartial) {
           latencies.push_back(q.completion_latency);
         }
       }
@@ -129,7 +195,7 @@ int main(int argc, char** argv) {
       std::vector<std::string> row = {
           core::StrategyName(kind),
           filter.name,
-          std::to_string(latencies.size()),
+          std::to_string(matched),
           filter.all ? TablePrinter::Num(makespan_s) : "",
           filter.all && makespan_s > 0
               ? TablePrinter::Num(static_cast<double>(latencies.size()) /
@@ -138,6 +204,7 @@ int main(int argc, char** argv) {
           TablePrinter::Num(lat.p50_s),
           TablePrinter::Num(lat.p95_s),
           TablePrinter::Num(lat.p99_s),
+          bench::FormatStatusCounts(counts),
           filter.all ? std::to_string(r->broker.queued_admissions) : "",
           filter.all ? std::to_string(r->broker.forced_admissions) : ""};
       if (options.walls) {

@@ -4,6 +4,7 @@
 // the table reports the makespan (throughput side) and the mean response
 // time (latency side).
 
+#include <array>
 #include <chrono>
 #include <cstdio>
 
@@ -90,7 +91,7 @@ int main(int argc, char** argv) {
   // times summarized as nearest-rank percentiles (SummarizeLatencies).
   std::vector<std::string> headers = {
       "queries", "mode", "per-query", "makespan (s)", "mean response (s)",
-      "p50 (s)", "p95 (s)", "p99 (s)", "total degradations"};
+      "p50 (s)", "p95 (s)", "p99 (s)", "statuses", "total degradations"};
   if (options.walls) headers.push_back("wall (ms)");
   TablePrinter table(std::move(headers));
   for (size_t i = 0; i < grid.size(); ++i) {
@@ -104,13 +105,17 @@ int main(int argc, char** argv) {
     }
     const bench::LatencySummary lat =
         bench::SummarizeLatencies(r.metrics.response_times);
+    std::array<int64_t, core::kNumQueryStatuses> counts{};
+    for (core::QueryStatus st : r.metrics.statuses) {
+      ++counts[static_cast<size_t>(st)];
+    }
     std::vector<std::string> row = {
         std::to_string(cell.n), core::MultiModeName(cell.mode),
         core::StrategyName(cell.kind),
         TablePrinter::Num(ToSecondsF(r.metrics.makespan)),
         TablePrinter::Num(ToSecondsF(r.metrics.mean_response)),
         TablePrinter::Num(lat.p50_s), TablePrinter::Num(lat.p95_s),
-        TablePrinter::Num(lat.p99_s),
+        TablePrinter::Num(lat.p99_s), bench::FormatStatusCounts(counts),
         std::to_string(r.metrics.total_degradations)};
     if (options.walls) row.push_back(TablePrinter::Num(r.wall_ms));
     table.AddRow(std::move(row));

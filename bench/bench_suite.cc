@@ -414,6 +414,84 @@ std::vector<SuiteCell> BuildSuite(const BenchOptions& options) {
     }
   }
 
+  // Lifecycle storm cells (DESIGN.md §13): the small fleet axis under a
+  // correlated fault storm with deadlines armed. The tracked seconds is
+  // still the makespan — its value now folds in deadline kills, retries
+  // and breaker degradation, all byte-identical across --jobs like every
+  // other fleet quantity.
+  {
+    const double scale = 0.1 * options.scale;
+    struct StormCell {
+      wrapper::StormKind storm;
+      core::StrategyKind kind;
+      const char* label;
+    };
+    for (const StormCell sc :
+         {StormCell{wrapper::StormKind::kRegionOutage, core::StrategyKind::kDse,
+                    "region-outage/DSE"},
+          StormCell{wrapper::StormKind::kCascadingSlowdown,
+                    core::StrategyKind::kSeq, "cascade/SEQ"}}) {
+      const uint64_t seed = options.seed;
+      cells.push_back({"storm", sc.label, [scale, sc, seed] {
+                         StrategyOutcome outcome;
+                         std::vector<plan::QuerySetup> templates;
+                         templates.push_back(
+                             plan::PaperFigure5Query(0.25 * scale));
+                         plan::QuerySetup slow =
+                             plan::PaperFigure5Query(0.25 * scale);
+                         slow.catalog.source(slow.catalog.Find("A"))
+                             .delay.mean_us *= 3.0;
+                         templates.push_back(std::move(slow));
+                         Rng stream(seed ^ 0xF1EE7ULL);
+                         std::vector<core::FleetQuerySpec> workload;
+                         SimTime at = 0;
+                         for (int i = 0; i < 12; ++i) {
+                           at += Seconds(stream.Exponential(0.05 * scale));
+                           core::FleetQuerySpec spec;
+                           spec.arrival = at;
+                           const bool interactive = stream.NextDouble() < 0.6;
+                           spec.template_idx = interactive ? 0 : 1;
+                           spec.fairness =
+                               interactive ? core::FairnessClass::kInteractive
+                                           : core::FairnessClass::kBatch;
+                           workload.push_back(spec);
+                         }
+                         core::FleetConfig fc;
+                         fc.seed = seed;
+                         fc.num_shards = 4;
+                         auto scaled = [scale](SimDuration d) {
+                           return static_cast<SimDuration>(
+                               static_cast<double>(d) * scale);
+                         };
+                         fc.deadline_budget = scaled(Seconds(40));
+                         fc.storm.kind = sc.storm;
+                         fc.storm.onset = scaled(Seconds(0.3));
+                         fc.storm.outage = scaled(Seconds(2.0));
+                         fc.storm.wave_stall = scaled(Milliseconds(400));
+                         fc.storm.propagation = scaled(Milliseconds(150));
+                         fc.storm.flap_period = scaled(Milliseconds(300));
+                         fc.breaker.cooldown = scaled(Seconds(1));
+                         fc.breaker.max_cooldown = scaled(Seconds(30));
+                         fc.retry_backoff_initial =
+                             std::max<SimDuration>(1, scaled(Milliseconds(50)));
+                         auto fleet = core::FleetExecutor::Create(
+                             std::move(templates), std::move(workload), fc);
+                         if (!fleet.ok()) {
+                           outcome.error = fleet.status().ToString();
+                           return outcome;
+                         }
+                         auto r = fleet->Execute(sc.kind, /*jobs=*/1);
+                         if (!r.ok()) {
+                           outcome.error = r.status().ToString();
+                           return outcome;
+                         }
+                         outcome.ok = true;
+                         outcome.seconds = ToSecondsF(r->makespan);
+                         return outcome;
+                       }});
+    }
+  }
+
   return cells;
 }
 

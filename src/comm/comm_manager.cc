@@ -1,6 +1,7 @@
 #include "comm/comm_manager.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/macros.h"
 
@@ -368,9 +369,14 @@ bool CommManager::SourceDead(SourceId source) const {
 
 void CommManager::AbandonSource(SourceId source) {
   const size_t i = static_cast<size_t>(source);
-  SourceFaultState& fs = fault_state_[i];
-  DQS_CHECK_MSG(fs.health == Health::kDead,
+  DQS_CHECK_MSG(fault_state_[i].health == Health::kDead,
                 "abandoning source %d, which is not declared dead", source);
+  CloseSource(source);
+}
+
+void CommManager::CloseSource(SourceId source) {
+  const size_t i = static_cast<size_t>(source);
+  SourceFaultState& fs = fault_state_[i];
   if (fs.abandoned) return;
   fs.abandoned = true;
   wrappers_[i]->Abandon();
@@ -382,6 +388,17 @@ void CommManager::AbandonSource(SourceId source) {
 
 int64_t CommManager::ReplayDiscarded(SourceId source) const {
   return fault_state_[static_cast<size_t>(source)].replay_discarded;
+}
+
+void CommManager::InstallFaultSchedule(SourceId source,
+                                       wrapper::FaultSchedule schedule,
+                                       uint64_t seed) {
+  const size_t i = static_cast<size_t>(source);
+  wrappers_[i]->SetFaultSchedule(std::move(schedule), seed);
+  // The schedule cannot change the first arrival (faults key off tuple
+  // indices, and a held wrapper has not produced tuple 0 yet), but keep
+  // the heap honest anyway.
+  SyncSource(i);
 }
 
 }  // namespace dqsched::comm

@@ -183,6 +183,23 @@ class CommManager {
   /// whatever already arrived. Irreversible.
   void AbandonSource(SourceId source);
 
+  /// Unconditional variant for lifecycle management (query cancellation,
+  /// circuit-breaker degrade): silences the wrapper and closes the stream
+  /// regardless of detector health. Irreversible; idempotent.
+  void CloseSource(SourceId source);
+
+  /// True once the source was closed/abandoned (its queue takes no more
+  /// deliveries and the wrapper is silenced).
+  bool SourceClosed(SourceId source) const {
+    return fault_state_[static_cast<size_t>(source)].abandoned;
+  }
+
+  /// Installs a fault schedule on a held, never-pumped source (the fleet
+  /// compiles storm schedules at join time, when the attempt's virtual
+  /// start time is known). Forwards to SimWrapper::SetFaultSchedule.
+  void InstallFaultSchedule(SourceId source, wrapper::FaultSchedule schedule,
+                            uint64_t seed);
+
   /// Replayed duplicates discarded on pop for `source` / in total. The
   /// invariant auditor's conservation law is popped == consumed +
   /// ReplayDiscarded.

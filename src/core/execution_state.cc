@@ -134,6 +134,7 @@ int ExecutionState::Degrade(ChainId chain, exec::ExecContext& ctx) {
 
   st.degraded = true;
   st.mf_temp = ctx.temps.Create("mf_" + info.name);
+  owned_temps_.push_back(st.mf_temp);
   ++degradations_;
   ++structural_version_;
 
@@ -256,6 +257,7 @@ Status ExecutionState::SplitForMemory(ChainId chain, exec::ExecContext& ctx,
     if (i + 1 < drafts.size()) {
       spec.sink = SinkKind::kTemp;
       spec.sink_temp = ctx.temps.Create("split_" + spec.name);
+      owned_temps_.push_back(spec.sink_temp);
     } else {
       spec.sink = base.sink;
       spec.sink_join = base.sink_join;
@@ -309,6 +311,7 @@ int ExecutionState::CreateMaterializeAll(SourceId source,
   spec.name = "MA(src" + std::to_string(source) + ")";
   spec.sink = SinkKind::kTemp;
   spec.sink_temp = ctx.temps.Create(spec.name);
+  owned_temps_.push_back(spec.sink_temp);
   spec.async_io = options_.async_io;
   spec.kernels = options_.kernels;
   ma_temps_[static_cast<size_t>(source)] = spec.sink_temp;
@@ -354,6 +357,31 @@ void ExecutionState::OnFragmentFinished(int id, exec::ExecContext& ctx) {
   // Audit point (DQSCHED_AUDIT builds): fragment completion is where chain
   // states flip and operand grants are released — the conservation laws
   // must balance here.
+  DQS_AUDIT(AuditExecutionState(*this, ctx));
+}
+
+void ExecutionState::Cancel(exec::ExecContext& ctx) {
+  if (cancelled_) return;
+  cancelled_ = true;
+  ++structural_version_;
+  // Release every operand grant — build- and probe-side alike. ReleaseAll
+  // is idempotent and also drops operand spill temps.
+  for (JoinId j = 0; j < compiled_->num_joins; ++j) {
+    operands_.Get(j).ReleaseAll(ctx);
+  }
+  // Close every fragment without sealing its sink; the husks never
+  // execute again but their stats stay readable.
+  for (FragmentSlot& slot : fragments_) {
+    slot.runtime->Abort();
+    slot.active = false;
+  }
+  // Return the temp-store space of everything this query materialized.
+  for (TempId t : owned_temps_) {
+    if (!ctx.temps.IsDropped(t)) ctx.temps.Drop(t);
+  }
+  trace_.Record(ctx.clock.now(), TraceEventKind::kCancelled, kInvalidId,
+                "query cancelled; grants released, temps dropped");
+  // The conservation laws must still balance on the cancelled husk.
   DQS_AUDIT(AuditExecutionState(*this, ctx));
 }
 

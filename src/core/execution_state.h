@@ -114,6 +114,14 @@ class ExecutionState {
   /// chains done. Must be called exactly once per EndOfQF event.
   void OnFragmentFinished(int id, exec::ExecContext& ctx);
 
+  /// Cooperative cancellation (DESIGN.md §13): releases every operand
+  /// grant back to the memory accountant, closes every fragment without
+  /// sealing, and drops every temp this query created — leaving the state
+  /// readable for metrics and still satisfying the conservation laws.
+  /// Idempotent; the query must not be stepped afterwards.
+  void Cancel(exec::ExecContext& ctx);
+  bool cancelled() const { return cancelled_; }
+
   /// Estimated CPU per *live* input tuple of the fragment, nanoseconds
   /// (the scheduler's c_p).
   double FragmentCpuPerTupleNs(int id) const;
@@ -193,7 +201,12 @@ class ExecutionState {
   std::vector<FragmentSlot> fragments_;
   std::vector<ChainState> chain_states_;
   std::vector<TempId> ma_temps_;  // per source, MA phase 1
+  /// Every temp this query created (MF prefixes, DQO split links, MA
+  /// materializations, not operand spills — those belong to the operand),
+  /// so cancellation can return their space.
+  std::vector<TempId> owned_temps_;
   ExecutionTrace trace_;
+  bool cancelled_ = false;
   int64_t split_serial_ = 0;      // unique suffixes for split stage names
   uint64_t structural_version_ = 0;
   int64_t degradations_ = 0;

@@ -10,6 +10,7 @@
 
 #include "common/macros.h"
 #include "common/parallel_runner.h"
+#include "common/random.h"
 #include "core/shared_loop.h"
 #include "exec/exec_context.h"
 #include "storage/tuple.h"
@@ -18,6 +19,14 @@
 namespace dqsched::core {
 
 namespace {
+
+/// Salt of the storm-compilation rng stream (schedule jitter and the
+/// FaultModel's own draws). Equal to the mediator's kFaultSalt so both
+/// drivers carve their fault randomness out of the same family.
+constexpr uint64_t kFleetFaultSalt = 0xa0761d6478bd642fULL;
+/// Salt of the retry-backoff jitter stream: dedicated, so arming retries
+/// perturbs no data/delay/fault draw anywhere else (DESIGN.md §13).
+constexpr uint64_t kFleetRetrySalt = 0x8bb84b93962eacc9ULL;
 
 uint64_t MixSeed(uint64_t base, uint64_t a, uint64_t b) {
   return storage::Mix64(base ^ (a + 1) * 0x9e3779b97f4a7c15ULL ^
@@ -56,6 +65,16 @@ Result<FleetExecutor> FleetExecutor::Create(
       config.slice_batches <= 0 || config.memory_budget_bytes <= 0) {
     return Status::InvalidArgument(
         "shards, sync turns, slice and budget must be > 0");
+  }
+  DQS_RETURN_IF_ERROR(config.storm.Validate());
+  if (config.max_attempts < 1) {
+    return Status::InvalidArgument("fleet max_attempts must be >= 1");
+  }
+  if (config.deadline_budget < 0 || config.retry_backoff_initial <= 0 ||
+      config.retry_jitter < 0 || config.retry_jitter >= 1.0) {
+    return Status::InvalidArgument(
+        "fleet lifecycle: deadline budget >= 0, backoff > 0, jitter in "
+        "[0, 1)");
   }
 
   std::vector<PreparedTemplate> prepared;
@@ -145,6 +164,42 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
   const int num_shards = config_.num_shards;
   const int total = num_queries();
 
+  // The lifecycle gate (DESIGN.md §13): when neither deadlines nor a
+  // storm are configured, every branch below collapses to the
+  // pre-lifecycle fleet — same turns, same stalls, same broker traffic —
+  // so disarmed runs stay byte-identical to the old baselines.
+  const bool lifecycle =
+      config_.deadline_budget > 0 || config_.storm.active();
+  comm::CommConfig comm_config = config_.comm;
+  // A storm is pointless without the detector watching for it.
+  if (config_.storm.active()) comm_config.failure_detection = true;
+
+  // Logical source keys: breakers and storm regions are per *logical*
+  // source (template-relative relation), shared by every query instance
+  // reading it, and identically laid out on every shard.
+  std::vector<int> tpl_key_offset(templates_.size(), 0);
+  int total_keys = 0;
+  for (size_t t = 0; t < templates_.size(); ++t) {
+    tpl_key_offset[t] = total_keys;
+    total_keys += templates_[t].catalog.num_sources();
+  }
+
+  // Per-query lifecycle state. Each entry is touched by its owning
+  // shard's advance task mid-round and by the coordinator at barriers
+  // (shed marking); ParallelRunner::Run joining its workers orders the
+  // two, exactly like the shards' own state.
+  struct LifeState {
+    int attempts = 0;  // attempts that joined a shard loop
+    bool terminal = false;
+    SimTime deadline = 0;  // current attempt's absolute deadline (0=none)
+    bool partial = false;  // current attempt degraded (breaker-closed src)
+  };
+  std::vector<LifeState> life(static_cast<size_t>(total));
+  // Fault activity per query, accumulated over its attempts: injection
+  // counters harvested from each attempt's wrappers at attempt end,
+  // detection/resolution counters counted from lifecycle turns.
+  std::vector<FaultStats> fault_acc(static_cast<size_t>(total));
+
   // Per-shard run state. The ExecContext/loop/mailbox of shard s are
   // touched only by the coordinator (between rounds) and by whichever
   // worker runs s's advance task (during a round); ParallelRunner::Run
@@ -154,18 +209,29 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
     std::unique_ptr<SharedQueryLoop> loop;
     /// Granted-but-not-joined queries, sorted by (granted_at, uid).
     std::deque<MemoryBroker::Grant> mailbox;
-    /// Loop slot -> query uid.
+    /// Loop slot -> query uid (retried queries own several slots).
     std::vector<int64_t> slot_uid;
     /// Sum of joined-but-not-released admission estimates.
     int64_t outstanding_est = 0;
-    int completed = 0;
+    /// Queries retired in a terminal status on this shard.
+    int retired = 0;
     Status status = Status::Ok();
+    /// Lifecycle: per-logical-source breakers, the shard-local source ->
+    /// logical key map, and which uid holds each key's half-open probe.
+    std::unique_ptr<BreakerPanel> breakers;
+    std::vector<int> source_key;
+    std::vector<int64_t> probe_owner;
+    /// Shard-remapped plan copies of retry attempts (deque: AddQuery
+    /// keeps pointers into elements, so no reallocation is allowed).
+    std::deque<plan::CompiledPlan> retry_plans;
   };
   std::vector<ShardRun> shards(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
     ShardRun& sr = shards[static_cast<size_t>(s)];
     sr.ctx = std::make_unique<exec::ExecContext>(
-        &config_.cost, config_.comm, config_.memory_budget_bytes);
+        &config_.cost, comm_config, config_.memory_budget_bytes);
+    sr.breakers = std::make_unique<BreakerPanel>(total_keys, config_.breaker);
+    sr.probe_owner.assign(static_cast<size_t>(total_keys), -1);
     // Register every wrapper of every query this shard will ever run, in
     // shard-local source id order, held: a held wrapper delivers nothing
     // and reports no arrival until its query is admitted and StartSource
@@ -183,6 +249,9 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
         w->Hold();
         sr.ctx->comm.AddSource(
             std::move(w), static_cast<double>(config_.cost.MinWaitingTime()));
+        sr.source_key.push_back(
+            tpl_key_offset[static_cast<size_t>(inst.spec.template_idx)] +
+            static_cast<int>(src));
       }
     }
     SharedQueryLoop::Options loop_options;
@@ -190,6 +259,7 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
     loop_options.config = config_.strategy;
     loop_options.slice_batches = config_.slice_batches;
     loop_options.targeted_replans = config_.targeted_replans;
+    loop_options.surface_lifecycle = lifecycle;
     loop_options.kernels = config_.kernels;
     sr.loop = std::make_unique<SharedQueryLoop>(sr.ctx.get(), loop_options);
   }
@@ -206,6 +276,10 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
         templates_[static_cast<size_t>(inst.spec.template_idx)].est_bytes;
     req.fairness = inst.spec.fairness;
     req.arrival = inst.spec.arrival;
+    if (config_.deadline_budget > 0) {
+      req.deadline = req.arrival + config_.deadline_budget;
+      life[static_cast<size_t>(inst.uid)].deadline = req.deadline;
+    }
     broker.Submit(req);
   }
 
@@ -227,24 +301,207 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
   auto advance = [&](int s) {
     ShardRun& sr = shards[static_cast<size_t>(s)];
     exec::ExecContext& ctx = *sr.ctx;
+
+    // Fold the injection-side fault counters of one attempt's sources
+    // into the query's accumulator (called exactly once per attempt, at
+    // its end — each attempt owns fresh wrappers, so nothing double
+    // counts).
+    auto harvest = [&](int slot) {
+      const SharedQueryDesc& d = sr.loop->desc(slot);
+      FaultStats& f =
+          fault_acc[static_cast<size_t>(sr.slot_uid[static_cast<size_t>(
+              slot)])];
+      for (SourceId src = d.source_lo; src < d.source_hi; ++src) {
+        const wrapper::FaultInjectionStats* fs =
+            ctx.comm.wrapper(src).fault_stats();
+        if (fs != nullptr) {
+          f.stalls_injected += fs->stalls;
+          f.disconnects_injected += fs->disconnects;
+          f.reconnects += fs->reconnects;
+          if (fs->died) ++f.sources_killed;
+        }
+        f.replays_discarded += ctx.comm.ReplayDiscarded(src);
+      }
+    };
+
+    // A cancelled query abandons any half-open probe it held: the probe
+    // proved nothing, so the breaker reopens (with its cooldown backed
+    // off) instead of wedging with a probe slot nobody will ever clear.
+    auto abort_probes = [&](int slot, int64_t uid) {
+      const SharedQueryDesc& d = sr.loop->desc(slot);
+      for (SourceId src = d.source_lo; src < d.source_hi; ++src) {
+        const int key = sr.source_key[static_cast<size_t>(src)];
+        if (sr.probe_owner[static_cast<size_t>(key)] == uid) {
+          sr.breakers->Of(key).OnProbeAborted(ctx.clock.now());
+          sr.probe_owner[static_cast<size_t>(key)] = -1;
+        }
+      }
+    };
+
+    // Kill the attempt in `slot` (source death or deadline expiry):
+    // cancel cooperatively — ExecutionState::Cancel releases every
+    // operand grant and temp, CancelQuery closes the comm sources — give
+    // the broker its memory back, then either requeue with exponential
+    // backoff or retire in a terminal status.
+    auto kill_attempt = [&](int slot, bool deadline_kill) {
+      const int64_t uid = sr.slot_uid[static_cast<size_t>(slot)];
+      LifeState& ls = life[static_cast<size_t>(uid)];
+      FleetQueryOutcome& oc = outcomes[static_cast<size_t>(uid)];
+      const SimTime now = ctx.clock.now();
+      harvest(slot);
+      abort_probes(slot, uid);
+      sr.loop->CancelQuery(slot);
+      MemoryBroker::Release rel;
+      rel.uid = uid;
+      rel.bytes = oc.est_bytes;
+      rel.completed_at = now;
+      broker.Submit(rel);
+      sr.outstanding_est -= oc.est_bytes;
+      if (deadline_kill) fault_acc[static_cast<size_t>(uid)].deadline_hit = true;
+      if (ls.attempts < config_.max_attempts) {
+        // Requeue through the broker. The jitter comes off a dedicated
+        // salted stream keyed by (uid, attempt): deterministic across
+        // --jobs, and arming retries perturbs no other draw.
+        Rng rng(MixSeed(config_.seed ^ kFleetRetrySalt,
+                        static_cast<uint64_t>(uid),
+                        static_cast<uint64_t>(ls.attempts)));
+        const double scale =
+            1.0 + config_.retry_jitter * (2.0 * rng.NextDouble() - 1.0);
+        const SimDuration backoff = static_cast<SimDuration>(std::ceil(
+            static_cast<double>(config_.retry_backoff_initial) *
+            std::ldexp(1.0, ls.attempts - 1) * scale));
+        MemoryBroker::Request req;
+        req.uid = uid;
+        req.shard = s;
+        req.est_bytes = oc.est_bytes;
+        req.fairness = oc.fairness;
+        req.arrival = now + backoff;
+        if (config_.deadline_budget > 0) {
+          req.deadline = req.arrival + config_.deadline_budget;
+          ls.deadline = req.deadline;
+        }
+        ls.partial = false;
+        broker.Submit(req);
+      } else {
+        ls.terminal = true;
+        oc.status = deadline_kill ? QueryStatus::kDeadlineCancelled
+                                  : QueryStatus::kRetriesExhausted;
+        oc.completed = now;
+        oc.completion_latency = now - oc.arrival;
+        ++sr.retired;
+      }
+    };
+
     auto join_front = [&] {
       const MemoryBroker::Grant grant = sr.mailbox.front();
       sr.mailbox.pop_front();
-      const PreparedInstance& inst =
-          instances_[static_cast<size_t>(grant.uid)];
+      const int64_t uid = grant.uid;
+      const PreparedInstance& inst = instances_[static_cast<size_t>(uid)];
+      const PreparedTemplate& tpl =
+          templates_[static_cast<size_t>(inst.spec.template_idx)];
+      LifeState& ls = life[static_cast<size_t>(uid)];
+      FleetQueryOutcome& oc = outcomes[static_cast<size_t>(uid)];
+      const SimTime now = ctx.clock.now();
+      if (lifecycle && ls.deadline > 0 && now >= ls.deadline) {
+        // The grant outlived its usefulness while it sat in the mailbox
+        // (the shard's clock outran the deadline): shed at join — the
+        // grant is returned unused, the query never runs.
+        MemoryBroker::Release rel;
+        rel.uid = uid;
+        rel.bytes = grant.est_bytes;
+        rel.completed_at = now;
+        broker.Submit(rel);
+        ls.terminal = true;
+        oc.status = QueryStatus::kShed;
+        ++sr.retired;
+        return;
+      }
+      ++ls.attempts;
+      SourceId lo = inst.source_lo;
+      SourceId hi = inst.source_hi;
+      const plan::CompiledPlan* compiled = &inst.compiled;
+      if (ls.attempts > 1) {
+        // A retry runs fresh wrappers in a fresh shard-local source
+        // range; the first attempt's closed range stays retired. The
+        // wrapper seed folds the attempt in, so retries replay the same
+        // *data* through new delay/fault draws.
+        const SourceId n_src = tpl.catalog.num_sources();
+        lo = ctx.comm.num_sources();
+        hi = lo + n_src;
+        sr.retry_plans.push_back(tpl.compiled);
+        plan::CompiledPlan& copy = sr.retry_plans.back();
+        for (plan::ChainInfo& chain : copy.chains) chain.source += lo;
+        compiled = &copy;
+        for (SourceId src = 0; src < n_src; ++src) {
+          auto w = std::make_unique<wrapper::SimWrapper>(
+              lo + src, &tpl.data[static_cast<size_t>(src)],
+              tpl.catalog.source(src).delay,
+              MixSeed(config_.seed, static_cast<uint64_t>(uid),
+                      static_cast<uint64_t>(src) + 977 +
+                          static_cast<uint64_t>(ls.attempts) * 7919));
+          w->Hold();
+          ctx.comm.AddSource(std::move(w),
+                             static_cast<double>(config_.cost.MinWaitingTime()));
+          sr.source_key.push_back(
+              tpl_key_offset[static_cast<size_t>(inst.spec.template_idx)] +
+              static_cast<int>(src));
+        }
+      }
+      for (SourceId src = lo; src < hi; ++src) {
+        const int key = sr.source_key[static_cast<size_t>(src)];
+        if (config_.storm.active()) {
+          // Compile the absolute-time storm spec into this attempt's
+          // tuple-index schedule: an attempt starting after the storm
+          // passed gets an empty schedule, which is what makes
+          // retry-after-recovery succeed.
+          Rng rng(MixSeed(config_.seed ^ kFleetFaultSalt,
+                          static_cast<uint64_t>(uid) * 64 +
+                              static_cast<uint64_t>(ls.attempts),
+                          static_cast<uint64_t>(key)));
+          wrapper::FaultSchedule schedule = wrapper::BuildStormSchedule(
+              config_.storm, key, total_keys, now,
+              ctx.comm.wrapper(src).MeanDelayNs(),
+              tpl.data[static_cast<size_t>(src - lo)].cardinality(), &rng);
+          ctx.comm.InstallFaultSchedule(
+              src, std::move(schedule),
+              MixSeed(config_.seed ^ kFleetFaultSalt,
+                      static_cast<uint64_t>(uid) * 64 +
+                          static_cast<uint64_t>(ls.attempts),
+                      static_cast<uint64_t>(key) + 0x5151));
+        }
+        bool admit = true;
+        if (lifecycle) {
+          CircuitBreaker& breaker = sr.breakers->Of(key);
+          const bool probing =
+              breaker.state(now) == BreakerState::kHalfOpen;
+          admit = breaker.Allow(now);
+          if (admit && probing) {
+            sr.probe_owner[static_cast<size_t>(key)] = uid;
+          }
+        }
+        if (admit) {
+          ctx.comm.StartSource(src, now);
+        } else {
+          // Open breaker: degrade immediately instead of burning the
+          // deadline budget rediscovering a known outage. The source
+          // contributes nothing; the query finishes partial.
+          ctx.comm.CloseSource(src);
+          ls.partial = true;
+          ++fault_acc[static_cast<size_t>(uid)].sources_abandoned;
+        }
+      }
       SharedQueryDesc desc;
-      desc.compiled = &inst.compiled;
-      desc.source_lo = inst.source_lo;
-      desc.source_hi = inst.source_hi;
+      desc.compiled = compiled;
+      desc.source_lo = lo;
+      desc.source_hi = hi;
+      desc.deadline = ls.deadline;
       const int slot = sr.loop->AddQuery(desc);
       DQS_CHECK(slot == static_cast<int>(sr.slot_uid.size()));
-      sr.slot_uid.push_back(grant.uid);
-      for (SourceId src = inst.source_lo; src < inst.source_hi; ++src) {
-        ctx.comm.StartSource(src, ctx.clock.now());
-      }
-      outcomes[static_cast<size_t>(grant.uid)].joined = ctx.clock.now();
+      sr.slot_uid.push_back(uid);
+      oc.joined = now;
       sr.outstanding_est += grant.est_bytes;
     };
+
     for (int64_t turns = 0; turns < config_.sync_turns;) {
       while (!sr.mailbox.empty() &&
              sr.mailbox.front().granted_at <= ctx.clock.now()) {
@@ -263,28 +520,113 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
         sr.status = turn.status();
         return;
       }
-      if (turn->kind == SharedQueryLoop::Turn::Kind::kQueryDone) {
-        const int64_t uid = sr.slot_uid[static_cast<size_t>(turn->query)];
-        FleetQueryOutcome& oc = outcomes[static_cast<size_t>(uid)];
-        oc.completed = sr.loop->done_at(turn->query);
-        oc.completion_latency = oc.completed - oc.arrival;
-        MemoryBroker::Release rel;
-        rel.uid = uid;
-        rel.bytes = oc.est_bytes;
-        rel.completed_at = oc.completed;
-        broker.Submit(rel);
-        sr.outstanding_est -= oc.est_bytes;
-        ++sr.completed;
-      } else if (turn->kind == SharedQueryLoop::Turn::Kind::kAllStarved) {
-        SimTime next = turn->stall_until;
-        if (!sr.mailbox.empty()) {
-          next = std::min(next, sr.mailbox.front().granted_at);
+      switch (turn->kind) {
+        case SharedQueryLoop::Turn::Kind::kQueryDone: {
+          const int slot = turn->query;
+          const int64_t uid = sr.slot_uid[static_cast<size_t>(slot)];
+          LifeState& ls = life[static_cast<size_t>(uid)];
+          FleetQueryOutcome& oc = outcomes[static_cast<size_t>(uid)];
+          oc.completed = sr.loop->done_at(slot);
+          oc.completion_latency = oc.completed - oc.arrival;
+          if (lifecycle) {
+            harvest(slot);
+            // Completion is the probe-success signal: every source the
+            // query actually read to the end is demonstrably alive, so a
+            // non-closed breaker guarding one resets.
+            const SharedQueryDesc& d = sr.loop->desc(slot);
+            for (SourceId src = d.source_lo; src < d.source_hi; ++src) {
+              if (ctx.comm.SourceClosed(src)) continue;
+              const int key = sr.source_key[static_cast<size_t>(src)];
+              CircuitBreaker& breaker = sr.breakers->Of(key);
+              if (breaker.state(ctx.clock.now()) != BreakerState::kClosed) {
+                breaker.OnRecovered(ctx.clock.now());
+              }
+              if (sr.probe_owner[static_cast<size_t>(key)] == uid) {
+                sr.probe_owner[static_cast<size_t>(key)] = -1;
+              }
+            }
+            if (ls.partial) {
+              fault_acc[static_cast<size_t>(uid)].partial_result = true;
+            }
+          }
+          oc.status =
+              ls.partial ? QueryStatus::kPartial : QueryStatus::kOk;
+          ls.terminal = true;
+          MemoryBroker::Release rel;
+          rel.uid = uid;
+          rel.bytes = oc.est_bytes;
+          rel.completed_at = oc.completed;
+          broker.Submit(rel);
+          sr.outstanding_est -= oc.est_bytes;
+          ++sr.retired;
+          break;
         }
-        if (next == kSimTimeNever) {
-          sr.status = Status::Internal("fleet shard cannot make progress");
-          return;
+        case SharedQueryLoop::Turn::Kind::kQueryDeadline: {
+          kill_attempt(turn->query, /*deadline_kill=*/true);
+          break;
         }
-        ctx.clock.StallUntil(next);
+        case SharedQueryLoop::Turn::Kind::kSourceSuspected: {
+          const int key = sr.source_key[static_cast<size_t>(turn->source)];
+          sr.breakers->Of(key).OnSuspected(ctx.clock.now());
+          if (turn->query >= 0) {
+            FaultStats& f = fault_acc[static_cast<size_t>(
+                sr.slot_uid[static_cast<size_t>(turn->query)])];
+            ++f.sources_suspected;
+            ++f.source_down_events;
+          }
+          break;
+        }
+        case SharedQueryLoop::Turn::Kind::kSourceDead: {
+          const int key = sr.source_key[static_cast<size_t>(turn->source)];
+          sr.breakers->Of(key).OnDead(ctx.clock.now());  // also clears probe
+          sr.probe_owner[static_cast<size_t>(key)] = -1;
+          const int owner = turn->query;
+          if (owner >= 0 && !sr.loop->done(owner)) {
+            FaultStats& f = fault_acc[static_cast<size_t>(
+                sr.slot_uid[static_cast<size_t>(owner)])];
+            ++f.sources_dead;
+            ++f.source_down_events;
+            kill_attempt(owner, /*deadline_kill=*/false);
+          }
+          break;
+        }
+        case SharedQueryLoop::Turn::Kind::kSourceRecovered: {
+          const int key = sr.source_key[static_cast<size_t>(turn->source)];
+          sr.breakers->Of(key).OnRecovered(ctx.clock.now());
+          sr.probe_owner[static_cast<size_t>(key)] = -1;
+          if (turn->query >= 0) {
+            FaultStats& f = fault_acc[static_cast<size_t>(
+                sr.slot_uid[static_cast<size_t>(turn->query)])];
+            ++f.recoveries;
+            ++f.source_recovered_events;
+          }
+          break;
+        }
+        case SharedQueryLoop::Turn::Kind::kAllStarved: {
+          SimTime next = turn->stall_until;
+          if (!sr.mailbox.empty()) {
+            next = std::min(next, sr.mailbox.front().granted_at);
+          }
+          if (lifecycle) {
+            // A wedged mix is no longer an error: the detector's next
+            // threshold and the earliest live deadline bound the stall,
+            // so every query terminates in a documented status instead.
+            next = std::min(next, ctx.comm.NextFaultDeadline(ctx.clock.now()));
+            for (int q = 0; q < sr.loop->num_queries(); ++q) {
+              if (sr.loop->done(q)) continue;
+              const SimTime dl = sr.loop->desc(q).deadline;
+              if (dl > 0) next = std::min(next, dl);
+            }
+          }
+          if (next == kSimTimeNever) {
+            sr.status = Status::Internal("fleet shard cannot make progress");
+            return;
+          }
+          ctx.clock.StallUntil(next);
+          break;
+        }
+        default:
+          break;  // kProgress / kIdle
       }
     }
   };
@@ -324,10 +666,12 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
 
   ParallelRunner runner(jobs);
   int64_t rounds = 0;
+  int shed_total = 0;  // terminals the broker retired (never joined)
+  std::vector<MemoryBroker::Request> shed;
   while (true) {
-    int completed_total = 0;
-    for (const ShardRun& sr : shards) completed_total += sr.completed;
-    if (completed_total == total) break;
+    int terminal_total = shed_total;
+    for (const ShardRun& sr : shards) terminal_total += sr.retired;
+    if (terminal_total == total) break;
     DQS_CHECK_MSG(++rounds < (1LL << 32), "fleet livelock");
 
     std::vector<std::function<void()>> tasks;
@@ -342,9 +686,20 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
       if (!sr.status.ok()) return sr.status;
     }
 
-    size_t delivered = deliver(broker.Arbitrate(num_shards));
+    shed.clear();
+    size_t delivered = deliver(broker.Arbitrate(num_shards, &shed));
+    // Deadline-aware admission: a queued request whose earliest possible
+    // grant stamp reached its deadline was dropped by the broker. It was
+    // never granted, so the only bookkeeping is its terminal status.
+    for (const MemoryBroker::Request& req : shed) {
+      LifeState& ls = life[static_cast<size_t>(req.uid)];
+      DQS_CHECK(!ls.terminal);
+      ls.terminal = true;
+      outcomes[static_cast<size_t>(req.uid)].status = QueryStatus::kShed;
+      ++shed_total;
+    }
     audit();
-    if (tasks.empty() && delivered == 0) {
+    if (tasks.empty() && delivered == 0 && shed.empty()) {
       // No shard could run and arbitration admitted nothing: only an
       // over-budget head can block the queue. Force it through (the
       // execution-level accountant still enforces; DQO spills).
@@ -373,15 +728,24 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
       FleetQueryOutcome& oc = out.queries[static_cast<size_t>(uid)];
       const PreparedTemplate& tpl =
           templates_[static_cast<size_t>(oc.template_idx)];
-      const exec::ResultCollector& result = sr.loop->result(slot);
-      if (config_.verify_results &&
-          (result.count() != tpl.reference.result_card ||
-           result.checksum().value() != tpl.reference.checksum.value())) {
-        return Status::Internal("fleet result mismatch in query " +
-                                std::to_string(uid));
-      }
+      // Slot order is join order, so a retried query's later attempts
+      // overwrite the earlier ones: the final attempt's metrics win.
       oc.metrics = sr.loop->QueryMetrics(slot);
-      oc.metrics.response_time = oc.completed - oc.joined;
+      if (oc.completed > 0 && oc.joined > 0) {
+        oc.metrics.response_time = oc.completed - oc.joined;
+      }
+      // Only a clean completion promises the reference answer: partial
+      // results dropped sources by design, cancelled attempts never
+      // sealed their sinks.
+      if (config_.verify_results && oc.status == QueryStatus::kOk &&
+          !sr.loop->cancelled(slot)) {
+        const exec::ResultCollector& result = sr.loop->result(slot);
+        if (result.count() != tpl.reference.result_card ||
+            result.checksum().value() != tpl.reference.checksum.value()) {
+          return Status::Internal("fleet result mismatch in query " +
+                                  std::to_string(uid));
+        }
+      }
     }
     FleetShardOutcome& so = out.shards[static_cast<size_t>(s)];
     so.queries = sr.loop->num_queries();
@@ -393,6 +757,16 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
     so.network = sr.ctx->net.stats();
     so.temps = sr.ctx->temps.stats();
     out.makespan = std::max(out.makespan, so.makespan);
+    out.breakers += sr.breakers->TotalStats();
+  }
+  for (int64_t uid = 0; uid < total; ++uid) {
+    FleetQueryOutcome& oc = out.queries[static_cast<size_t>(uid)];
+    const LifeState& ls = life[static_cast<size_t>(uid)];
+    oc.attempts = ls.attempts;
+    oc.deadline = ls.deadline;
+    oc.metrics.fault = fault_acc[static_cast<size_t>(uid)];
+    out.fault += fault_acc[static_cast<size_t>(uid)];
+    ++out.status_counts[static_cast<size_t>(oc.status)];
   }
   return out;
 }

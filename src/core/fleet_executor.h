@@ -29,12 +29,14 @@
 #ifndef DQSCHED_CORE_FLEET_EXECUTOR_H_
 #define DQSCHED_CORE_FLEET_EXECUTOR_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "comm/comm_manager.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "core/circuit_breaker.h"
 #include "core/memory_broker.h"
 #include "core/metrics.h"
 #include "core/strategy.h"
@@ -44,6 +46,7 @@
 #include "sim/cost_model.h"
 #include "storage/relation.h"
 #include "wrapper/catalog.h"
+#include "wrapper/fault_model.h"
 
 namespace dqsched::core {
 
@@ -74,6 +77,32 @@ struct FleetConfig {
   bool verify_results = true;
   bool targeted_replans = false;
   exec::KernelConfig kernels;
+
+  // ---- Query lifecycle (DESIGN.md §13) ----------------------------------
+  // The lifecycle manager is armed when deadline_budget > 0 or a storm is
+  // configured; otherwise the fleet behaves exactly as before (and its
+  // non-wall metrics stay byte-identical to the pre-lifecycle baselines).
+
+  /// Per-attempt virtual-time budget, measured from the attempt's
+  /// admission-request arrival: attempt deadline = request arrival +
+  /// budget. 0 disables deadlines (and, absent a storm, the whole
+  /// lifecycle layer).
+  SimDuration deadline_budget = 0;
+  /// Attempts a query killed by source death or deadline expiry may
+  /// consume before it terminates kRetriesExhausted (>= 1).
+  int max_attempts = 3;
+  /// Base of the exponential requeue backoff: attempt k (1-based) that
+  /// fails is requeued at now + initial * 2^(k-1), scaled by a
+  /// deterministic jitter in [1-retry_jitter, 1+retry_jitter] drawn from
+  /// the dedicated retry stream (kFleetRetrySalt).
+  SimDuration retry_backoff_initial = Milliseconds(50);
+  double retry_jitter = 0.25;
+  /// Per-logical-source circuit breakers, shared by every query instance
+  /// on a shard that reads the same template source.
+  BreakerConfig breaker;
+  /// Correlated fault-storm scenario compiled into per-attempt fault
+  /// schedules (wrapper/fault_model.h). kNone = no storm.
+  wrapper::StormConfig storm;
 };
 
 /// Per-query outcome, indexed by the query's stream uid.
@@ -94,8 +123,17 @@ struct FleetQueryOutcome {
   /// Per-query-attributable metrics (loop slice); response_time is
   /// completed - joined, shared-device fields stay zero, and
   /// planning_host_seconds is host wall time (excluded from the
-  /// byte-identity contract).
+  /// byte-identity contract). metrics.fault accumulates over every
+  /// attempt of the query.
   ExecutionMetrics metrics;
+  /// Terminal lifecycle status. Always kOk or kPartial when the
+  /// lifecycle layer is disarmed.
+  QueryStatus status = QueryStatus::kOk;
+  /// Admission attempts consumed (1 for a first-try success; 0 only for
+  /// kShed queries, which never joined a shard).
+  int attempts = 0;
+  /// Absolute deadline of the final attempt (0 = unlimited).
+  SimTime deadline = 0;
 };
 
 /// Per-shard aggregate, indexed by shard id.
@@ -119,6 +157,12 @@ struct FleetMetrics {
   MemoryBroker::Stats broker;
   /// Barrier rounds the coordinator ran.
   int64_t rounds = 0;
+  /// Terminal statuses, indexed by QueryStatus enum value.
+  std::array<int64_t, kNumQueryStatuses> status_counts{};
+  /// Circuit-breaker activity, summed over shards in ascending id.
+  BreakerStats breakers;
+  /// Fault activity, summed over queries in ascending uid.
+  FaultStats fault;
 };
 
 class FleetExecutor {

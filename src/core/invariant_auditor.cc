@@ -449,8 +449,10 @@ Status AuditExecutionState(const ExecutionState& state,
       return Status::Internal("MF(" + info.name + ") produced more than it "
                               "consumed");
     }
+    // A cancelled query's temps are dropped; a dropped temp holds no
+    // tuples and is exempt from the cardinality law.
     const TempId mf_temp = state.MfTemp(c);
-    if (ctx.temps.IsSealed(mf_temp) &&
+    if (ctx.temps.IsSealed(mf_temp) && !ctx.temps.IsDropped(mf_temp) &&
         ctx.temps.Cardinality(mf_temp) != mf_rt.stats().produced) {
       return Status::Internal(
           "degradation lost tuples: MF(" + info.name + ") produced " +

@@ -53,8 +53,27 @@ void MemoryBroker::Admit(std::deque<QueuedRequest>* queue,
   (*out)[static_cast<size_t>(qr.request.shard)].push_back(grant);
 }
 
+void MemoryBroker::ShedExpired(std::deque<QueuedRequest>* queue,
+                               std::vector<Request>* shed) {
+  std::deque<QueuedRequest> kept;
+  for (QueuedRequest& qr : *queue) {
+    // The earliest stamp this request can still be granted at; monotone
+    // in last_freed_at_, so once it reaches the deadline it stays there.
+    const SimTime earliest =
+        qr.waited ? std::max(qr.request.arrival, last_freed_at_)
+                  : qr.request.arrival;
+    if (qr.request.deadline > 0 && earliest >= qr.request.deadline) {
+      ++stats_.shed_requests;
+      if (shed != nullptr) shed->push_back(qr.request);
+    } else {
+      kept.push_back(std::move(qr));
+    }
+  }
+  queue->swap(kept);
+}
+
 std::vector<std::vector<MemoryBroker::Grant>> MemoryBroker::Arbitrate(
-    int num_shards) {
+    int num_shards, std::vector<Request>* shed) {
   std::vector<Request> requests;
   std::vector<Release> releases;
   {
@@ -98,6 +117,11 @@ std::vector<std::vector<MemoryBroker::Grant>> MemoryBroker::Arbitrate(
   stats_.peak_queued_requests = std::max(
       stats_.peak_queued_requests,
       static_cast<int64_t>(interactive_.size() + batch_.size()));
+
+  // Deadline-aware admission: drop requests that can no longer win
+  // before spending budget on them.
+  ShedExpired(&interactive_, shed);
+  ShedExpired(&batch_, shed);
 
   std::vector<std::vector<Grant>> out(static_cast<size_t>(num_shards));
   while (true) {

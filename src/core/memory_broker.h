@@ -64,6 +64,11 @@ class MemoryBroker {
     int64_t est_bytes = 0;  // admission estimate (>= 1)
     FairnessClass fairness = FairnessClass::kInteractive;
     SimTime arrival = 0;  // the query's workload arrival time
+    /// Absolute virtual-time deadline (0 = none). A queued request whose
+    /// earliest possible grant stamp reaches this is shed: granting
+    /// memory to a query that cannot finish in time only steals budget
+    /// from queries that still can (deadline-aware admission, §13).
+    SimTime deadline = 0;
   };
 
   struct Release {
@@ -87,6 +92,10 @@ class MemoryBroker {
     int64_t queued_admissions = 0;
     /// Grants issued by ForceAdmit (progress backstop).
     int64_t forced_admissions = 0;
+    /// Queued requests dropped because their earliest grant stamp could
+    /// no longer beat their deadline. Shed requests are never granted,
+    /// so they do not participate in the grants == releases law.
+    int64_t shed_requests = 0;
     int64_t peak_outstanding_bytes = 0;
     int64_t peak_queued_requests = 0;
   };
@@ -103,10 +112,13 @@ class MemoryBroker {
 
   /// Round barrier (single-threaded by contract): applies the pending
   /// releases in (completed_at, uid) order, enqueues the pending requests
-  /// in (arrival, uid) order onto their class queues, and admits queue
-  /// heads while the budget allows. Returns the new grants bucketed by
-  /// shard (outer index = shard id).
-  std::vector<std::vector<Grant>> Arbitrate(int num_shards);
+  /// in (arrival, uid) order onto their class queues, sheds queued
+  /// requests whose earliest grant stamp has reached their deadline
+  /// (appended to `*shed` in queue order, interactive first, when
+  /// non-null), and admits queue heads while the budget allows. Returns
+  /// the new grants bucketed by shard (outer index = shard id).
+  std::vector<std::vector<Grant>> Arbitrate(
+      int num_shards, std::vector<Request>* shed = nullptr);
 
   /// Progress backstop: admits the head queued request (interactive
   /// first) regardless of budget. Only legal when HasQueued(); the
@@ -129,6 +141,9 @@ class MemoryBroker {
   /// True when `request` fits the remaining budget (or nothing is
   /// outstanding — see Config::total_budget_bytes).
   bool Fits(const QueuedRequest& qr) const;
+  /// Drops doomed queued requests from `queue` into `*shed`.
+  void ShedExpired(std::deque<QueuedRequest>* queue,
+                   std::vector<Request>* shed);
   void Admit(std::deque<QueuedRequest>* queue,
              std::vector<std::vector<Grant>>* out, bool forced);
 

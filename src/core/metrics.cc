@@ -4,6 +4,22 @@
 
 namespace dqsched::core {
 
+const char* QueryStatusName(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk:
+      return "ok";
+    case QueryStatus::kPartial:
+      return "partial";
+    case QueryStatus::kDeadlineCancelled:
+      return "deadline";
+    case QueryStatus::kRetriesExhausted:
+      return "retries";
+    case QueryStatus::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
 std::string ExecutionMetrics::ToString() const {
   char buf[1024];
   std::snprintf(

@@ -13,6 +13,31 @@
 
 namespace dqsched::core {
 
+/// Terminal lifecycle status of one query (DESIGN.md §13). Every query
+/// ends in exactly one of these; "completes or wedges" is not a state.
+enum class QueryStatus {
+  /// Full result delivered and verified.
+  kOk,
+  /// Finished after abandoning one or more dead/broken sources — the
+  /// PR 4 partial-result policy, now a first-class terminal status.
+  kPartial,
+  /// The virtual-time deadline expired mid-flight; the query was
+  /// cancelled cooperatively and its resources released.
+  kDeadlineCancelled,
+  /// Killed by source death or deadline on every attempt; the retry
+  /// budget ran out before the sources recovered.
+  kRetriesExhausted,
+  /// Never ran: admission shed it because its queue wait already
+  /// exceeded the deadline (or its admission target was hopeless).
+  kShed,
+};
+
+/// Short stable name ("ok", "partial", "deadline", "retries", "shed").
+const char* QueryStatusName(QueryStatus status);
+
+/// Count of terminal statuses, in enum order.
+inline constexpr int kNumQueryStatuses = 5;
+
 /// Fault-layer activity of one execution: what was injected into the
 /// wrappers, what the CM's failure detector concluded, and how the
 /// strategy resolved it. All-zero (any() == false) for fault-free runs.

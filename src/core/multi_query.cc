@@ -120,6 +120,9 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteSerial(
     }
     offset += metrics->response_time;
     out.response_times.push_back(offset);
+    out.statuses.push_back(metrics->fault.partial_result
+                               ? QueryStatus::kPartial
+                               : QueryStatus::kOk);
     out.total_degradations += metrics->degradations;
     out.total_result_tuples += metrics->result_count;
     out.peak_memory_bytes =
@@ -197,6 +200,7 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
                               std::to_string(qi));
     }
     out.response_times.push_back(loop.done_at(qi));
+    out.statuses.push_back(QueryStatus::kOk);
     sum += loop.done_at(qi);
     out.total_degradations += loop.degradations(qi);
     out.total_result_tuples += result.count();

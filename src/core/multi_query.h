@@ -63,6 +63,12 @@ struct MultiQueryMetrics {
   /// start; kSerial: cumulative — still "when did this query's user get
   /// the answer").
   std::vector<SimDuration> response_times;
+  /// Terminal status per query, parallel to response_times. The
+  /// single-mediator modes never shed or retry, so only kOk — or
+  /// kPartial, when a fault policy degraded the answer — appear here;
+  /// the column exists so a degraded query is distinguishable from a
+  /// slow one in the bench tables (§13).
+  std::vector<QueryStatus> statuses;
   /// Completion of the whole mix (the throughput side of the tradeoff).
   SimDuration makespan = 0;
   /// Mean response time across queries (the latency side).

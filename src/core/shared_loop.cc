@@ -35,6 +35,7 @@ int SharedQueryLoop::AddQuery(const SharedQueryDesc& desc) {
   DqpConfig dqp_config = options_.config.dqp;
   dqp_config.slice_batches = options_.slice_batches;
   dqp_config.yield_on_starvation = true;
+  dqp_config.deadline = desc.deadline;
   run->dqp = std::make_unique<Dqp>(dqp_config);
   run->dqo = std::make_unique<Dqo>();
   if (options_.strategy == StrategyKind::kSeq) {
@@ -149,7 +150,15 @@ Result<SharedQueryLoop::Turn> SharedQueryLoop::Step() {
     return idle;
   }
   DQS_CHECK_MSG(++guard_ < (1LL << 40), "multi-query livelock");
-  const int cur = ring_next_[static_cast<size_t>(ring_prev_)];
+  // Retire slots cancelled between turns: CancelQuery marks them done but
+  // cannot unlink from a singly-linked ring without the predecessor.
+  int cur = ring_next_[static_cast<size_t>(ring_prev_)];
+  while (runs_[static_cast<size_t>(cur)]->done) {
+    ring_next_[static_cast<size_t>(ring_prev_)] =
+        ring_next_[static_cast<size_t>(cur)];
+    if (ring_tail_ == cur) ring_tail_ = ring_prev_;
+    cur = ring_next_[static_cast<size_t>(ring_prev_)];
+  }
   QueryRun& run = *runs_[static_cast<size_t>(cur)];
 
   if (run.need_replan) {
@@ -220,16 +229,34 @@ Result<SharedQueryLoop::Turn> SharedQueryLoop::Step() {
       run.need_replan = true;
       break;
     case EventKind::kSourceDown:
+      run.need_replan = true;
+      if (options_.surface_lifecycle) {
+        turn.kind = ctx_->comm.SourceDead(evt->source)
+                        ? Turn::Kind::kSourceDead
+                        : Turn::Kind::kSourceSuspected;
+        turn.source = evt->source;
+        turn.query = SourceOwner(evt->source);
+        break;
+      }
       if (ctx_->comm.SourceDead(evt->source)) {
         return Status::Unavailable("source " + std::to_string(evt->source) +
                                    " declared dead in multi-query mix");
       }
-      run.need_replan = true;
       break;
     case EventKind::kSourceRecovered:
       run.need_replan = true;
+      if (options_.surface_lifecycle) {
+        turn.kind = Turn::Kind::kSourceRecovered;
+        turn.source = evt->source;
+        turn.query = SourceOwner(evt->source);
+      }
       break;
     case EventKind::kDeadlineExceeded:
+      if (options_.surface_lifecycle) {
+        turn.kind = Turn::Kind::kQueryDeadline;
+        turn.query = cur;
+        break;
+      }
       return Status::DeadlineExceeded(
           "query deadline expired in multi-query mix");
     case EventKind::kSliceEnd:
@@ -255,6 +282,20 @@ Result<SharedQueryLoop::Turn> SharedQueryLoop::Step() {
     ring_prev_ = cur;
   }
   return turn;
+}
+
+void SharedQueryLoop::CancelQuery(int query) {
+  QueryRun& run = *runs_[static_cast<size_t>(query)];
+  DQS_CHECK_MSG(!run.done, "cancel of finished query %d", query);
+  run.state->Cancel(*ctx_);
+  // Quiesce the query's wrappers: nobody will drain those queues again.
+  for (SourceId s = run.desc.source_lo; s < run.desc.source_hi; ++s) {
+    ctx_->comm.CloseSource(s);
+  }
+  run.done = true;
+  run.done_at = ctx_->clock.now();
+  --active_;
+  // The ring unlink happens lazily at the top of the next Step.
 }
 
 ExecutionMetrics SharedQueryLoop::QueryMetrics(int query) const {

@@ -51,6 +51,10 @@ struct SharedQueryDesc {
   const plan::CompiledPlan* compiled = nullptr;
   SourceId source_lo = 0;
   SourceId source_hi = 0;
+  /// Absolute virtual-time deadline forced into the query's DqpConfig
+  /// (0 = unlimited). Only meaningful with Options::surface_lifecycle —
+  /// the loop reports the expiry; the caller decides cancel vs retry.
+  SimTime deadline = 0;
 };
 
 class SharedQueryLoop {
@@ -64,6 +68,11 @@ class SharedQueryLoop {
     int64_t slice_batches = 32;
     /// Route RateChange replans to the subscribed query (DESIGN §9).
     bool targeted_replans = false;
+    /// Surface lifecycle events (deadline expiry, source suspicion /
+    /// death / recovery) as Turn kinds for the caller's lifecycle manager
+    /// instead of failing the whole loop (the pre-§13 behaviour, kept as
+    /// the default for the single-mediator multi-query mode).
+    bool surface_lifecycle = false;
     exec::KernelConfig kernels;
   };
 
@@ -84,9 +93,16 @@ class SharedQueryLoop {
       kQueryDone,   // `query` finished on this turn
       kAllStarved,  // every active query starves until `stall_until`
       kIdle,        // no active queries registered
+      // The remaining kinds fire only with Options::surface_lifecycle.
+      kQueryDeadline,    // `query`'s virtual deadline expired
+      kSourceSuspected,  // the detector suspects `source` (owner `query`)
+      kSourceDead,       // the detector declared `source` dead
+      kSourceRecovered,  // a suspected/dead `source` delivered again
     };
     Kind kind = Kind::kProgress;
     int query = -1;
+    /// kSource*: the global source id the detector signalled.
+    SourceId source = kInvalidId;
     /// kAllStarved: the earliest arrival any active query waits for;
     /// kSimTimeNever when none exists (the mix is wedged). The caller
     /// stalls the clock (or errors) — the loop does not touch it.
@@ -95,6 +111,25 @@ class SharedQueryLoop {
 
   /// Runs one turn of the current query. Never stalls the clock.
   Result<Turn> Step();
+
+  /// Cooperative cancellation (surface_lifecycle callers): releases the
+  /// query's operand grants and temps (ExecutionState::Cancel), closes
+  /// its comm sources so their wrappers go quiet, and retires the slot
+  /// from the rotation. The slot reads as done (done_at = now) with
+  /// cancelled() true; its metrics stay readable.
+  void CancelQuery(int query);
+  bool cancelled(int query) const {
+    return runs_[static_cast<size_t>(query)]->state->cancelled();
+  }
+  const SharedQueryDesc& desc(int query) const {
+    return runs_[static_cast<size_t>(query)]->desc;
+  }
+  /// The slot owning global source `s`; -1 when unowned.
+  int SourceOwner(SourceId s) const {
+    return s >= 0 && static_cast<size_t>(s) < source_owner_.size()
+               ? source_owner_[static_cast<size_t>(s)]
+               : -1;
+  }
 
   int num_queries() const { return static_cast<int>(runs_.size()); }
   /// Registered queries not yet finished.

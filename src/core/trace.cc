@@ -32,6 +32,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "source-recovered";
     case TraceEventKind::kDeadline:
       return "deadline";
+    case TraceEventKind::kCancelled:
+      return "cancelled";
     case TraceEventKind::kQueryDone:
       return "query-done";
   }

@@ -33,6 +33,7 @@ enum class TraceEventKind {
   kSourceDown,     // the failure detector suspects/declared a source down
   kSourceRecovered,// a suspected source delivered again
   kDeadline,       // the query's virtual-time budget expired
+  kCancelled,      // lifecycle cancellation released the query's resources
   kQueryDone,
 };
 

@@ -109,6 +109,12 @@ class FragmentRuntime {
   /// the complement fragment.
   void Stop(ExecContext& ctx);
 
+  /// Cancellation: marks the fragment closed without sealing its sink or
+  /// requiring exhaustion. The caller (ExecutionState::Cancel) releases
+  /// operand grants registry-wide and drops the query's temps; the husk
+  /// must never execute afterwards.
+  void Abort() { closed_ = true; }
+
   /// Tuples consumable immediately.
   int64_t Available(ExecContext& ctx) { return source_->Available(ctx); }
   /// The producing wrapper is suspended on a full queue.

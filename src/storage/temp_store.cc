@@ -152,4 +152,6 @@ void TempStore::Drop(TempId id) {
   rel.dropped = true;
 }
 
+bool TempStore::IsDropped(TempId id) const { return Get(id).dropped; }
+
 }  // namespace dqsched::storage

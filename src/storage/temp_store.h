@@ -99,6 +99,9 @@ class TempStore {
 
   /// Releases the temp's storage. Reading or appending after Drop aborts.
   void Drop(TempId id);
+  /// True once Drop was applied (the temp no longer participates in
+  /// cardinality conservation laws).
+  bool IsDropped(TempId id) const;
 
   const TempStoreStats& stats() const { return stats_; }
 

@@ -16,6 +16,7 @@
 #define DQSCHED_WRAPPER_FAULT_MODEL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
@@ -66,6 +67,75 @@ struct FaultSchedule {
   bool empty() const { return events.empty(); }
   Status Validate() const;
 };
+
+/// Correlated fault storms (DESIGN.md §13). A storm is specified in
+/// absolute virtual time over a *logical* source population and compiled
+/// into per-source tuple-index FaultSchedules at install time, using the
+/// source's analytic mean inter-tuple delay as the time→index map. The
+/// compilation is pure given (storm, source index, start time, jitter
+/// rng), so schedules are byte-identical across host thread counts.
+enum class StormKind {
+  kNone,
+  /// A contiguous region of sources goes silent together at `onset` and
+  /// recovers together `outage` later (or never, if `lethal`).
+  kRegionOutage,
+  /// Stall waves sweep the population with a propagation delay between
+  /// neighbouring sources — the upstream slowdown cascading downstream.
+  kCascadingSlowdown,
+  /// Region sources alternate short silences and recoveries, keeping the
+  /// failure detector oscillating between suspected and healthy.
+  kFlapping,
+};
+
+/// Short stable name ("none", "region-outage", "cascade", "flapping").
+const char* StormKindName(StormKind kind);
+
+/// Parses a StormKindName back; returns false on unknown names.
+bool ParseStormKind(const std::string& name, StormKind* out);
+
+struct StormConfig {
+  StormKind kind = StormKind::kNone;
+
+  /// Fraction of the logical source population (the lowest-indexed
+  /// contiguous block) inside the storm region.
+  double region_fraction = 0.5;
+  /// Virtual time the storm begins.
+  SimTime onset = Seconds(0.5);
+  /// Deterministic jitter factor applied to injected silences, drawn
+  /// uniformly from [1-j, 1+j] off the dedicated fault rng.
+  double jitter = 0.25;
+
+  // kRegionOutage.
+  SimDuration outage = Seconds(2);
+  /// Kill region sources (kDeath) instead of a recoverable silence.
+  bool lethal = false;
+
+  // kCascadingSlowdown.
+  SimDuration wave_stall = Milliseconds(400);
+  SimDuration propagation = Milliseconds(150);
+  int waves = 3;
+
+  // kFlapping.
+  SimDuration flap_period = Milliseconds(300);
+  int flaps = 4;
+
+  bool active() const { return kind != StormKind::kNone; }
+  Status Validate() const;
+};
+
+/// Compiles the storm into the FaultSchedule one delivery attempt of one
+/// logical source observes. `start` is the virtual time the attempt
+/// begins delivering; `mean_delay_ns` is the source's analytic mean
+/// inter-tuple delay (> 0) used as the absolute-time → tuple-index map;
+/// events landing at or past `cardinality` are dropped. `rng` supplies
+/// jitter only and must be a dedicated stream salted by (source,
+/// attempt) so data/delay draws are untouched. An attempt that starts
+/// after the storm has passed gets an empty schedule — which is exactly
+/// what makes retry-after-recovery succeed.
+FaultSchedule BuildStormSchedule(const StormConfig& storm, int source_index,
+                                 int num_sources, SimTime start,
+                                 double mean_delay_ns, int64_t cardinality,
+                                 Rng* rng);
 
 /// Positions [begin, end) of a source's delivery sequence occupied by
 /// replayed duplicates. Positions count delivered tuples, which equals the

@@ -1,0 +1,6 @@
+#include "core/circuit_breaker.h"
+
+void Consult() {
+  CircuitBreaker* breaker = nullptr;
+  (void)breaker;
+}

@@ -1,0 +1,8 @@
+#include "core/circuit_breaker.h"
+
+void Pump() {
+  CircuitBreaker* breaker = nullptr;
+  BreakerPanel* panel = nullptr;
+  (void)breaker;
+  (void)panel;
+}

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -199,7 +200,17 @@ std::string Fingerprint(const FleetMetrics& m) {
        << q.metrics.cf_activations << '/' << q.metrics.dqo_splits << '/'
        << q.metrics.operand_spills << '/' << q.metrics.timeouts << '/'
        << q.metrics.rate_change_events << '/' << q.metrics.peak_memory_bytes
-       << '\n';
+       << '/' << static_cast<int>(q.status) << '/' << q.attempts << '/'
+       << q.deadline << '/' << q.metrics.fault.stalls_injected << '/'
+       << q.metrics.fault.disconnects_injected << '/'
+       << q.metrics.fault.sources_killed << '/'
+       << q.metrics.fault.sources_suspected << '/'
+       << q.metrics.fault.sources_dead << '/'
+       << q.metrics.fault.recoveries << '/'
+       << q.metrics.fault.sources_abandoned << '/'
+       << q.metrics.fault.replays_discarded << '/'
+       << q.metrics.fault.partial_result << '/'
+       << q.metrics.fault.deadline_hit << '\n';
   }
   for (const FleetShardOutcome& s : m.shards) {
     os << s.queries << '/' << s.makespan << '/' << s.busy_time << '/'
@@ -209,8 +220,13 @@ std::string Fingerprint(const FleetMetrics& m) {
   }
   os << m.makespan << '/' << m.rounds << '/' << m.broker.grants_issued << '/'
      << m.broker.releases_applied << '/' << m.broker.queued_admissions << '/'
-     << m.broker.forced_admissions << '/'
+     << m.broker.forced_admissions << '/' << m.broker.shed_requests << '/'
      << m.broker.peak_outstanding_bytes << '\n';
+  for (int64_t c : m.status_counts) os << c << '/';
+  os << m.breakers.trips << '/' << m.breakers.probes << '/'
+     << m.breakers.reopens << '/' << m.breakers.resets << '/'
+     << m.fault.stalls_injected << '/' << m.fault.sources_killed << '/'
+     << m.fault.sources_dead << '/' << m.fault.deadline_hit << '\n';
   return os.str();
 }
 
@@ -368,6 +384,77 @@ TEST(FleetExecutor, SingleShardMatchesMultiShardResults) {
     EXPECT_EQ(ra->queries[i].metrics.result_checksum,
               rb->queries[i].metrics.result_checksum);
   }
+}
+
+TEST(FleetExecutor, CancelMidFlightConservesGrants) {
+  // Probe the healthy run for its latency scale, then arm a deadline at
+  // roughly a third of the median: most queries get cancelled mid-flight
+  // (some after retries), and every grant the broker ever issued must
+  // still come back — cancellation releases the admission estimate just
+  // like completion does.
+  Result<FleetExecutor> probe =
+      FleetExecutor::Create(TinyTemplates(), Stream(10), SmallConfig());
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  Result<FleetMetrics> probed = probe->Execute(StrategyKind::kDse, 1);
+  ASSERT_TRUE(probed.ok()) << probed.status().ToString();
+  std::vector<SimDuration> latencies;
+  for (const FleetQueryOutcome& q : probed->queries) {
+    latencies.push_back(q.completed - q.joined);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const SimDuration median = latencies[latencies.size() / 2];
+  ASSERT_GT(median, 0);
+
+  FleetConfig config = SmallConfig();
+  config.deadline_budget = std::max<SimDuration>(1, median / 3);
+  config.max_attempts = 2;
+  Result<FleetExecutor> fleet =
+      FleetExecutor::Create(TinyTemplates(), Stream(10), config);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  Result<FleetMetrics> r = fleet->Execute(StrategyKind::kDse, 2);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // Every query terminated in a documented status, and the taxonomy sums
+  // to the stream size.
+  int64_t terminal = 0;
+  for (int64_t c : r->status_counts) terminal += c;
+  EXPECT_EQ(terminal, 10);
+  // The tight deadline must actually have fired: at least one query was
+  // cancelled mid-flight (or shed by deadline-aware admission).
+  const int64_t cancelled =
+      r->status_counts[static_cast<size_t>(QueryStatus::kDeadlineCancelled)] +
+      r->status_counts[static_cast<size_t>(QueryStatus::kShed)];
+  EXPECT_GT(cancelled, 0);
+
+  // Grant/release conservation on every terminal path: shed requests are
+  // never granted, everything granted was released (by completion or by
+  // mid-flight cancellation).
+  EXPECT_EQ(r->broker.grants_issued, r->broker.releases_applied);
+  for (const FleetQueryOutcome& q : r->queries) {
+    if (q.status == QueryStatus::kShed) continue;
+    EXPECT_GE(q.attempts, 1);
+    EXPECT_LE(q.attempts, 2);
+    EXPECT_GT(q.deadline, 0);
+    if (q.status == QueryStatus::kDeadlineCancelled) {
+      EXPECT_TRUE(q.metrics.fault.deadline_hit);
+    }
+  }
+}
+
+TEST(FleetExecutor, DeadlineLifecycleByteIdenticalAcrossJobs) {
+  FleetConfig config = SmallConfig();
+  config.deadline_budget = Milliseconds(2);
+  config.max_attempts = 2;
+  Result<FleetExecutor> fleet =
+      FleetExecutor::Create(TinyTemplates(), Stream(10), config);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  Result<FleetMetrics> j1 = fleet->Execute(StrategyKind::kDse, 1);
+  Result<FleetMetrics> j2 = fleet->Execute(StrategyKind::kDse, 2);
+  Result<FleetMetrics> j8 = fleet->Execute(StrategyKind::kDse, 8);
+  ASSERT_TRUE(j1.ok() && j2.ok() && j8.ok());
+  const std::string f1 = Fingerprint(*j1);
+  EXPECT_EQ(f1, Fingerprint(*j2));
+  EXPECT_EQ(f1, Fingerprint(*j8));
 }
 
 }  // namespace

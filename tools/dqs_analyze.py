@@ -58,6 +58,15 @@ fleet's only cross-shard mutable state):
                    arbitration barrier and break the jobs-invariance
                    argument.
 
+breaker affinity (DESIGN §13 — circuit breakers are lifecycle policy,
+confined to the layers that own it):
+  breaker-affinity the breaker API (core/circuit_breaker.h and the
+                   CircuitBreaker / BreakerPanel names) may appear only
+                   under core/ and comm/; a wrapper or storage file
+                   consulting a breaker would smuggle admission policy
+                   into mechanism code and couple layers the DAG keeps
+                   apart.
+
 legacy conventions (ported from dqs_lint.py, same semantics):
   guard            include guards are DQSCHED_<REL_PATH>_H_ with a
                    matching `#endif  // ...` trailer
@@ -147,6 +156,13 @@ CHARGE_BLESSED = {
 # and the coordinator that arbitrates at the round barrier. Any other
 # file naming the broker couples shards outside the barrier.
 BROKER_BLESSED_PREFIXES = ("core/memory_broker", "core/fleet_executor")
+
+# Layers allowed to consult the circuit breakers (DESIGN §13): lifecycle
+# policy lives in core/, and comm/ surfaces the detector events that
+# feed it. A wrapper or storage component naming a breaker would smuggle
+# admission policy into mechanism code.
+BREAKER_BLESSED_PREFIXES = ("core/", "comm/")
+BREAKER_NAMES = {"CircuitBreaker", "BreakerPanel"}
 
 CHARGE_METHODS = {
     "Advance", "AdvanceTo", "BusyUntil", "StallUntil",
@@ -871,6 +887,31 @@ def check_shard_affinity(an, f):
                     "core/fleet_executor.*; shards must stay affine — "
                     "cross-shard coupling goes through the coordinator's "
                     "arbitration barrier (DESIGN §12)")
+
+
+# --------------------------------------------------------------------------
+# Breaker-affinity rule.
+# --------------------------------------------------------------------------
+
+
+@rule("breaker-affinity", "file")
+def check_breaker_affinity(an, f):
+    if f.rel.startswith(BREAKER_BLESSED_PREFIXES):
+        return
+    for line, target in f.quoted_includes:
+        if target == "core/circuit_breaker.h":
+            an.emit(f, line, "breaker-affinity",
+                    '#include "core/circuit_breaker.h" outside core/ and '
+                    "comm/; breakers are lifecycle *policy* (DESIGN §13) — "
+                    "wrapper and storage mechanism code must not consult "
+                    "or mutate admission state")
+    for tok in f.tokens:
+        if tok.kind == "id" and tok.value in BREAKER_NAMES:
+            an.emit(f, tok.line, "breaker-affinity",
+                    f"`{tok.value}` named outside core/ and comm/; the "
+                    "breaker state machine is confined to the lifecycle "
+                    "layer (DESIGN §13) so storms and recoveries stay a "
+                    "pure function of the virtual event stream")
 
 
 # --------------------------------------------------------------------------
