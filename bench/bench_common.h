@@ -12,8 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel_runner.h"
 #include "core/mediator.h"
-#include "parallel_runner.h"
 #include "plan/canonical_plans.h"
 
 namespace dqsched::bench {
@@ -76,7 +76,7 @@ StrategyOutcome MeasureDphj(const plan::QuerySetup& setup,
 using MeasureCell = std::function<StrategyOutcome()>;
 
 /// Executes the cells on options.jobs workers (work stealing, see
-/// parallel_runner.h) and returns the outcomes in input order — the
+/// common/parallel_runner.h) and returns the outcomes in input order — the
 /// printed tables are byte-identical for every --jobs value.
 std::vector<StrategyOutcome> RunCells(const BenchOptions& options,
                                       const std::vector<MeasureCell>& cells);

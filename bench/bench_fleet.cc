@@ -33,8 +33,14 @@ int main(int argc, char** argv) {
   //   --deadline=<sec>  per-attempt deadline budget in scale-1 virtual
   //                     seconds, multiplied by --scale like the query
   //                     durations (default 0 = no deadlines)
+  //   --cache=<mode>    result cache: off | cold (enabled, reset before
+  //                     every run — byte-identical to off on every
+  //                     non-wall column) | warm (one unmeasured warmup
+  //                     run per strategy, then measure the repeat)
   wrapper::StormKind storm_kind = wrapper::StormKind::kNone;
   double deadline_s = 0.0;
+  enum class CacheMode { kOff, kCold, kWarm };
+  CacheMode cache_mode = CacheMode::kCold;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -42,6 +48,18 @@ int main(int argc, char** argv) {
     if (arg.rfind("--storm=", 0) == 0) {
       if (!wrapper::ParseStormKind(arg.substr(8), &storm_kind)) {
         std::fprintf(stderr, "unknown --storm kind: %s\n", arg.c_str() + 8);
+        return 2;
+      }
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      const std::string mode = arg.substr(8);
+      if (mode == "off") {
+        cache_mode = CacheMode::kOff;
+      } else if (mode == "cold") {
+        cache_mode = CacheMode::kCold;
+      } else if (mode == "warm") {
+        cache_mode = CacheMode::kWarm;
+      } else {
+        std::fprintf(stderr, "unknown --cache mode: %s\n", mode.c_str());
         return 2;
       }
     } else if (arg.rfind("--deadline=", 0) == 0) {
@@ -68,6 +86,10 @@ int main(int argc, char** argv) {
                 deadline_s > 0 ? TablePrinter::Num(deadline_s).c_str()
                                : "none");
   }
+  std::printf("cache: %s\n\n",
+              cache_mode == CacheMode::kOff
+                  ? "off"
+                  : (cache_mode == CacheMode::kCold ? "cold" : "warm"));
 
   // Warm plan cache: three templates. t0 is the paper query at quarter
   // scale (the interactive mix); t1/t2 slow one relation 3x — the
@@ -129,6 +151,7 @@ int main(int argc, char** argv) {
   config.breaker.max_cooldown = scaled(Seconds(30));
   config.retry_backoff_initial =
       std::max<SimDuration>(1, scaled(Milliseconds(50)));
+  config.cache.enabled = cache_mode != CacheMode::kOff;
 
   Result<core::FleetExecutor> fleet = core::FleetExecutor::Create(
       std::move(templates), std::move(workload), config);
@@ -141,12 +164,24 @@ int main(int argc, char** argv) {
   std::vector<std::string> headers = {
       "per-query", "class",   "queries",  "makespan (s)", "throughput (q/s)",
       "p50 (s)",   "p95 (s)", "p99 (s)",  "statuses",     "queued",
-      "forced"};
+      "forced",    "c-hits",  "c-miss",   "c-stale",      "c-evict"};
   if (options.walls) headers.push_back("wall (ms)");
   TablePrinter table(std::move(headers));
 
   for (core::StrategyKind kind :
        {core::StrategyKind::kSeq, core::StrategyKind::kDse}) {
+    // Cold runs start from an empty cache every time; warm runs repeat
+    // the identical stream once unmeasured so the measured run serves
+    // hits (the mediator fleet answering a recurring template mix).
+    if (cache_mode != CacheMode::kOff) fleet->ResetCache();
+    if (cache_mode == CacheMode::kWarm) {
+      Result<core::FleetMetrics> warmup = fleet->Execute(kind, options.jobs);
+      if (!warmup.ok()) {
+        std::fprintf(stderr, "%s warmup: %s\n", core::StrategyName(kind),
+                     warmup.status().ToString().c_str());
+        return 1;
+      }
+    }
     const auto t0 = std::chrono::steady_clock::now();
     Result<core::FleetMetrics> r = fleet->Execute(kind, options.jobs);
     const auto t1 = std::chrono::steady_clock::now();
@@ -206,7 +241,15 @@ int main(int argc, char** argv) {
           TablePrinter::Num(lat.p99_s),
           bench::FormatStatusCounts(counts),
           filter.all ? std::to_string(r->broker.queued_admissions) : "",
-          filter.all ? std::to_string(r->broker.forced_admissions) : ""};
+          filter.all ? std::to_string(r->broker.forced_admissions) : "",
+          filter.all ? std::to_string(r->cache.segment_hits +
+                                      r->cache.result_hits)
+                     : "",
+          filter.all ? std::to_string(r->cache.segment_misses +
+                                      r->cache.result_misses)
+                     : "",
+          filter.all ? std::to_string(r->cache.stale_invalidations) : "",
+          filter.all ? std::to_string(r->cache.evictions) : ""};
       if (options.walls) {
         row.push_back(filter.all ? TablePrinter::Num(wall_ms) : "");
       }

@@ -7,6 +7,8 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table_printer.h"
@@ -14,10 +16,42 @@
 
 int main(int argc, char** argv) {
   using namespace dqsched;
-  const auto options = bench::ParseOptions(argc, argv, /*default_scale=*/0.1);
+  // Peeled before the shared parser:
+  //   --cache=<mode>  result cache: off | cold (enabled, every cell runs
+  //                   on a fresh cache — byte-identical to off on every
+  //                   non-wall column) | warm (one unmeasured run per
+  //                   cell, then measure the repeat)
+  enum class CacheMode { kOff, kCold, kWarm };
+  CacheMode cache_mode = CacheMode::kCold;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--cache=", 0) == 0) {
+      const std::string mode = arg.substr(8);
+      if (mode == "off") {
+        cache_mode = CacheMode::kOff;
+      } else if (mode == "cold") {
+        cache_mode = CacheMode::kCold;
+      } else if (mode == "warm") {
+        cache_mode = CacheMode::kWarm;
+      } else {
+        std::fprintf(stderr, "unknown --cache mode: %s\n", mode.c_str());
+        return 2;
+      }
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const auto options = bench::ParseOptions(static_cast<int>(rest.size()),
+                                           rest.data(), /*default_scale=*/0.1);
   bench::PrintPreamble("Multi-query execution (throughput vs response time)",
                        "Section 6 (future work: multi-query execution)",
                        options);
+  std::printf("cache: %s\n\n",
+              cache_mode == CacheMode::kOff
+                  ? "off"
+                  : (cache_mode == CacheMode::kCold ? "cold" : "warm"));
 
   // One cell per (n, mode, strategy); each builds its own mix + mediator
   // so cells stay independent across worker threads.
@@ -54,9 +88,9 @@ int main(int argc, char** argv) {
     /// (and with --jobs); every simulated metric is deterministic.
     double wall_ms = 0.0;
   };
-  const bench::ParallelRunner runner(options.jobs);
-  const auto results = bench::RunIndexed<MultiOutcome>(
-      runner, grid.size(), [&grid, &options](size_t i) {
+  const ParallelRunner runner(options.jobs);
+  const auto results = RunIndexed<MultiOutcome>(
+      runner, grid.size(), [&grid, &options, cache_mode](size_t i) {
         const MultiCell& cell = grid[i];
         MultiOutcome out;
         std::vector<plan::QuerySetup> mix;
@@ -66,11 +100,23 @@ int main(int argc, char** argv) {
         }
         core::MultiQueryConfig config;
         config.seed = options.seed;
+        config.cache.enabled = cache_mode != CacheMode::kOff;
         Result<core::MultiQueryMediator> mediator =
             core::MultiQueryMediator::Create(std::move(mix), config);
         if (!mediator.ok()) {
           out.error = mediator.status().ToString();
           return out;
+        }
+        // Each cell's mediator is fresh, so its first run is always cold;
+        // warm mode repeats the identical mix once unmeasured so the
+        // measured run serves hits.
+        if (cache_mode == CacheMode::kWarm) {
+          Result<core::MultiQueryMetrics> warmup =
+              mediator->Execute(cell.kind, cell.mode);
+          if (!warmup.ok()) {
+            out.error = warmup.status().ToString();
+            return out;
+          }
         }
         const auto t0 = std::chrono::steady_clock::now();
         Result<core::MultiQueryMetrics> r =
@@ -90,8 +136,10 @@ int main(int argc, char** argv) {
   // The latency distribution next to its mean: per-query completion
   // times summarized as nearest-rank percentiles (SummarizeLatencies).
   std::vector<std::string> headers = {
-      "queries", "mode", "per-query", "makespan (s)", "mean response (s)",
-      "p50 (s)", "p95 (s)", "p99 (s)", "statuses", "total degradations"};
+      "queries", "mode",    "per-query", "makespan (s)",
+      "mean response (s)",  "p50 (s)",   "p95 (s)",
+      "p99 (s)", "statuses", "total degradations",
+      "c-hits",  "c-miss",  "c-stale",   "c-evict"};
   if (options.walls) headers.push_back("wall (ms)");
   TablePrinter table(std::move(headers));
   for (size_t i = 0; i < grid.size(); ++i) {
@@ -116,7 +164,13 @@ int main(int argc, char** argv) {
         TablePrinter::Num(ToSecondsF(r.metrics.mean_response)),
         TablePrinter::Num(lat.p50_s), TablePrinter::Num(lat.p95_s),
         TablePrinter::Num(lat.p99_s), bench::FormatStatusCounts(counts),
-        std::to_string(r.metrics.total_degradations)};
+        std::to_string(r.metrics.total_degradations),
+        std::to_string(r.metrics.cache.segment_hits +
+                       r.metrics.cache.result_hits),
+        std::to_string(r.metrics.cache.segment_misses +
+                       r.metrics.cache.result_misses),
+        std::to_string(r.metrics.cache.stale_invalidations),
+        std::to_string(r.metrics.cache.evictions)};
     if (options.walls) row.push_back(TablePrinter::Num(r.wall_ms));
     table.AddRow(std::move(row));
   }

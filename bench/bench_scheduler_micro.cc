@@ -15,7 +15,7 @@
 #include "core/dqs.h"
 #include "core/mediator.h"
 #include "exec/hash_index.h"
-#include "parallel_runner.h"
+#include "common/parallel_runner.h"
 #include "plan/canonical_plans.h"
 #include "plan/query_generator.h"
 #include "wrapper/wrapper.h"
@@ -146,7 +146,7 @@ BENCHMARK_CAPTURE(BM_ExecuteStrategy, DSE, core::StrategyKind::kDse);
 /// the work-stealing runner; items/sec should scale with cores under the
 /// one-Mediator-per-thread contract.
 void BM_ParallelMediators(benchmark::State& state) {
-  const bench::ParallelRunner runner(g_jobs);
+  const ParallelRunner runner(g_jobs);
   const int n = runner.jobs();
   plan::QuerySetup setup = plan::PaperFigure5Query(0.05);
   core::MediatorConfig config;

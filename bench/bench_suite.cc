@@ -7,11 +7,20 @@
 // --jobs value; only the wall-clock changes.
 //
 //   bench_suite [--scale=F] [--repeats=N] [--seed=N] [--jobs=N]
-//               [--out=PATH]
+//               [--out=PATH] [--cache=off|cold]
 //
 // Each experiment keeps the default scale of its standalone binary;
 // --scale multiplies all of them (e.g. --scale=0.05 is the tier-1 smoke
 // grid).
+//
+// --cache picks the result-cache mode for the multi-query and fleet
+// cells (single-query cells use per-run caches and are inherently
+// cold). "cold" (the default) enables the cache on fresh executors, so
+// every tracked cell is byte-identical to "off" on all non-wall fields
+// — the CI perf-smoke step diffs exactly that. Cold mode additionally
+// runs two warm-cache cells (experiment "cache_warm", a repeated
+// multi-query mix and a repeated fleet stream) that are skipped under
+// --cache=off; diff tooling must exclude that experiment.
 
 #include <chrono>
 #include <cstdio>
@@ -23,7 +32,7 @@
 #include "common/random.h"
 #include "core/fleet_executor.h"
 #include "core/multi_query.h"
-#include "parallel_runner.h"
+#include "common/parallel_runner.h"
 
 namespace dqsched::bench {
 namespace {
@@ -88,7 +97,8 @@ void AddSlowRelationSweep(std::vector<SuiteCell>* cells,
   }
 }
 
-std::vector<SuiteCell> BuildSuite(const BenchOptions& options) {
+std::vector<SuiteCell> BuildSuite(const BenchOptions& options,
+                                  bool cache_enabled) {
   std::vector<SuiteCell> cells;
   const core::MediatorConfig config = DefaultConfig(options);
   const int repeats = options.repeats;
@@ -320,7 +330,7 @@ std::vector<SuiteCell> BuildSuite(const BenchOptions& options) {
                                     KindLabel(kind);
           const uint64_t seed = options.seed;
           cells.push_back({"multi_query", label,
-                           [scale, n, mode, kind, seed] {
+                           [scale, n, mode, kind, seed, cache_enabled] {
                              StrategyOutcome outcome;
                              std::vector<plan::QuerySetup> mix;
                              for (int i = 0; i < n; ++i) {
@@ -328,6 +338,7 @@ std::vector<SuiteCell> BuildSuite(const BenchOptions& options) {
                              }
                              core::MultiQueryConfig mq;
                              mq.seed = seed;
+                             mq.cache.enabled = cache_enabled;
                              auto mediator = core::MultiQueryMediator::Create(
                                  std::move(mix), mq);
                              if (!mediator.ok()) {
@@ -365,7 +376,8 @@ std::vector<SuiteCell> BuildSuite(const BenchOptions& options) {
                                   "/n=" + std::to_string(axis.n) + "/" +
                                   KindLabel(kind);
         const uint64_t seed = options.seed;
-        cells.push_back({"fleet", label, [scale, axis, kind, seed] {
+        cells.push_back({"fleet", label,
+                         [scale, axis, kind, seed, cache_enabled] {
                            StrategyOutcome outcome;
                            std::vector<plan::QuerySetup> templates;
                            templates.push_back(
@@ -395,6 +407,7 @@ std::vector<SuiteCell> BuildSuite(const BenchOptions& options) {
                            core::FleetConfig fc;
                            fc.seed = seed;
                            fc.num_shards = axis.shards;
+                           fc.cache.enabled = cache_enabled;
                            auto fleet = core::FleetExecutor::Create(
                                std::move(templates), std::move(workload), fc);
                            if (!fleet.ok()) {
@@ -432,7 +445,7 @@ std::vector<SuiteCell> BuildSuite(const BenchOptions& options) {
           StormCell{wrapper::StormKind::kCascadingSlowdown,
                     core::StrategyKind::kSeq, "cascade/SEQ"}}) {
       const uint64_t seed = options.seed;
-      cells.push_back({"storm", sc.label, [scale, sc, seed] {
+      cells.push_back({"storm", sc.label, [scale, sc, seed, cache_enabled] {
                          StrategyOutcome outcome;
                          std::vector<plan::QuerySetup> templates;
                          templates.push_back(
@@ -474,6 +487,7 @@ std::vector<SuiteCell> BuildSuite(const BenchOptions& options) {
                          fc.breaker.max_cooldown = scaled(Seconds(30));
                          fc.retry_backoff_initial =
                              std::max<SimDuration>(1, scaled(Milliseconds(50)));
+                         fc.cache.enabled = cache_enabled;
                          auto fleet = core::FleetExecutor::Create(
                              std::move(templates), std::move(workload), fc);
                          if (!fleet.ok()) {
@@ -490,6 +504,108 @@ std::vector<SuiteCell> BuildSuite(const BenchOptions& options) {
                          return outcome;
                        }});
     }
+  }
+
+  // Warm-cache cells (DESIGN.md §14): the same executor runs its workload
+  // twice and the tracked seconds is the SECOND run's makespan — the
+  // repeated-template regime the result cache targets. Only present with
+  // the cache on (there is no meaningful "warm" off-cache cell), so the
+  // off-vs-cold diff in CI excludes the "cache_warm" experiment.
+  if (cache_enabled) {
+    const double scale = 0.1 * options.scale;
+    const uint64_t seed = options.seed;
+    cells.push_back(
+        {"cache_warm", "multi/n=4/shared/DSE/warm", [scale, seed] {
+           StrategyOutcome outcome;
+           std::vector<plan::QuerySetup> mix;
+           for (int i = 0; i < 4; ++i) {
+             mix.push_back(plan::PaperFigure5Query(scale));
+           }
+           core::MultiQueryConfig mq;
+           mq.seed = seed;
+           mq.cache.enabled = true;
+           auto mediator =
+               core::MultiQueryMediator::Create(std::move(mix), mq);
+           if (!mediator.ok()) {
+             outcome.error = mediator.status().ToString();
+             return outcome;
+           }
+           auto cold = mediator->Execute(core::StrategyKind::kDse,
+                                         core::MultiMode::kShared);
+           if (!cold.ok()) {
+             outcome.error = cold.status().ToString();
+             return outcome;
+           }
+           auto warm = mediator->Execute(core::StrategyKind::kDse,
+                                         core::MultiMode::kShared);
+           if (!warm.ok()) {
+             outcome.error = warm.status().ToString();
+             return outcome;
+           }
+           if (warm->cache.result_hits + warm->cache.segment_hits == 0) {
+             outcome.error = "warm multi-query run served no cache hits";
+             return outcome;
+           }
+           outcome.ok = true;
+           outcome.seconds = ToSecondsF(warm->makespan);
+           return outcome;
+         }});
+    cells.push_back({"cache_warm", "fleet/shards=4/n=12/DSE/warm",
+                     [scale, seed] {
+                       StrategyOutcome outcome;
+                       std::vector<plan::QuerySetup> templates;
+                       templates.push_back(
+                           plan::PaperFigure5Query(0.25 * scale));
+                       plan::QuerySetup slow =
+                           plan::PaperFigure5Query(0.25 * scale);
+                       slow.catalog.source(slow.catalog.Find("A"))
+                           .delay.mean_us *= 3.0;
+                       templates.push_back(std::move(slow));
+                       Rng stream(seed ^ 0xF1EE7ULL);
+                       std::vector<core::FleetQuerySpec> workload;
+                       SimTime at = 0;
+                       for (int i = 0; i < 12; ++i) {
+                         at += Seconds(stream.Exponential(0.05 * scale));
+                         core::FleetQuerySpec spec;
+                         spec.arrival = at;
+                         const bool interactive = stream.NextDouble() < 0.6;
+                         spec.template_idx = interactive ? 0 : 1;
+                         spec.fairness =
+                             interactive ? core::FairnessClass::kInteractive
+                                         : core::FairnessClass::kBatch;
+                         workload.push_back(spec);
+                       }
+                       core::FleetConfig fc;
+                       fc.seed = seed;
+                       fc.num_shards = 4;
+                       fc.cache.enabled = true;
+                       auto fleet = core::FleetExecutor::Create(
+                           std::move(templates), std::move(workload), fc);
+                       if (!fleet.ok()) {
+                         outcome.error = fleet.status().ToString();
+                         return outcome;
+                       }
+                       auto cold = fleet->Execute(core::StrategyKind::kDse,
+                                                  /*jobs=*/1);
+                       if (!cold.ok()) {
+                         outcome.error = cold.status().ToString();
+                         return outcome;
+                       }
+                       auto warm = fleet->Execute(core::StrategyKind::kDse,
+                                                  /*jobs=*/1);
+                       if (!warm.ok()) {
+                         outcome.error = warm.status().ToString();
+                         return outcome;
+                       }
+                       if (warm->cache.result_hits +
+                               warm->cache.segment_hits == 0) {
+                         outcome.error = "warm fleet run served no cache hits";
+                         return outcome;
+                       }
+                       outcome.ok = true;
+                       outcome.seconds = ToSecondsF(warm->makespan);
+                       return outcome;
+                     }});
   }
 
   return cells;
@@ -518,12 +634,17 @@ std::string JsonEscape(const std::string& s) {
 }
 
 int Main(int argc, char** argv) {
-  // Split off --out=; everything else is standard bench options.
+  // Split off --out= and --cache=; everything else is standard options.
   std::string out_path = "BENCH_suite.json";
+  bool cache_enabled = true;  // "cold" — identical to off on every cell
   std::vector<char*> rest = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--cache=off") == 0) {
+      cache_enabled = false;
+    } else if (std::strcmp(argv[i], "--cache=cold") == 0) {
+      cache_enabled = true;
     } else {
       rest.push_back(argv[i]);
     }
@@ -534,7 +655,7 @@ int Main(int argc, char** argv) {
   if (!parsed) {
     std::fprintf(stderr,
                  "%s\nusage: %s [--scale=F] [--repeats=N] [--seed=N] "
-                 "[--jobs=N] [--out=PATH]\n",
+                 "[--jobs=N] [--out=PATH] [--cache=off|cold]\n",
                  error.c_str(), argv[0]);
     return 2;
   }
@@ -548,9 +669,10 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<SuiteCell> cells = BuildSuite(options);
-  std::printf("bench_suite: %zu cells, scale=%.3g, jobs=%d\n", cells.size(),
-              options.scale, runner.jobs());
+  std::vector<SuiteCell> cells = BuildSuite(options, cache_enabled);
+  std::printf("bench_suite: %zu cells, scale=%.3g, jobs=%d, cache=%s\n",
+              cells.size(), options.scale, runner.jobs(),
+              cache_enabled ? "cold" : "off");
 
   const auto suite_start = std::chrono::steady_clock::now();
   const std::vector<SuiteResult> results = RunIndexed<SuiteResult>(
@@ -585,6 +707,7 @@ int Main(int argc, char** argv) {
   std::fprintf(out, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(options.seed));
   std::fprintf(out, "  \"jobs\": %d,\n", runner.jobs());
+  std::fprintf(out, "  \"cache\": \"%s\",\n", cache_enabled ? "cold" : "off");
   std::fprintf(out, "  \"cell_count\": %zu,\n", results.size());
   std::fprintf(out, "  \"failed_cells\": %zu,\n", failed);
   std::fprintf(out, "  \"simulated_seconds_total\": %.9g,\n",

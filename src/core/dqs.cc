@@ -4,6 +4,7 @@
 
 #include "common/host_clock.h"
 #include "common/macros.h"
+#include "core/cache_manager.h"
 #include "core/invariant_auditor.h"
 
 namespace dqsched::core {
@@ -70,6 +71,16 @@ Result<SchedulingPlan> Dqs::ComputePlan(ExecutionState& state,
         state.CSchedulable(c)) {
       state.ActivateCf(c, ctx);
     }
+  }
+
+  // Cache probe (DESIGN.md §14): untouched chains whose (source, leading
+  // filters, version) segment is cached are rebound to the cached temp
+  // and their sources closed, BEFORE the degradation pass reads critical
+  // degrees — a rebound chain has no remaining live tuples, so neither
+  // degradation trigger below can fire on it. Runs at most once per chain
+  // per run; a no-op (with deterministic miss counters) on a cold cache.
+  if (state.options().cache != nullptr) {
+    state.options().cache->TrySegmentHits(state, ctx);
   }
 
   // Step 3: degrade critical, blocked, not-yet-degraded chains when

@@ -299,6 +299,51 @@ void ExecutionState::RebindChainToTemp(ChainId chain, TempId temp,
       &ctx_->result);
 }
 
+void ExecutionState::BindChainToCachedSegment(ChainId chain, TempId temp,
+                                              exec::ExecContext& ctx) {
+  ChainState& st = chain_states_[static_cast<size_t>(chain)];
+  const plan::ChainInfo& info = compiled_->chain(chain);
+  FragmentSlot& slot = fragments_[static_cast<size_t>(chain)];
+  DQS_CHECK_MSG(!st.done && !st.degraded && !st.cache_bound,
+                "illegal cache bind of chain %s", info.name.c_str());
+  DQS_CHECK_MSG(slot.runtime->stats().consumed == 0,
+                "cache bind of started chain %s", info.name.c_str());
+  DQS_CHECK_MSG(ctx.temps.IsSealed(temp), "cache bind to unsealed temp %d",
+                temp);
+  st.cache_bound = true;
+  ++cache_bound_;
+  ++structural_version_;
+  owned_temps_.push_back(temp);
+
+  // Same shape as CF(p) over a finished MF: the segment carries the
+  // leading filters pre-applied, so the fragment skips them on temp
+  // batches. There is no live remainder — the caller closed the source.
+  FragmentSpec spec = BaseSpecFor(chain);
+  spec.name = info.name + "/cached";
+  spec.temp_skip_ops = st.leading_filters;
+  slot.runtime = std::make_unique<FragmentRuntime>(
+      std::move(spec), std::make_unique<TempSource>(temp, options_.async_io),
+      &operands_, result_);
+  trace_.Record(ctx.clock.now(), TraceEventKind::kCacheHit, chain,
+                info.name + " rebound to cached segment");
+}
+
+bool ExecutionState::CacheBound(ChainId chain) const {
+  return chain_states_[static_cast<size_t>(chain)].cache_bound;
+}
+
+bool ExecutionState::CacheProbed(ChainId chain) const {
+  return chain_states_[static_cast<size_t>(chain)].cache_probed;
+}
+
+void ExecutionState::SetCacheProbed(ChainId chain) {
+  chain_states_[static_cast<size_t>(chain)].cache_probed = true;
+}
+
+bool ExecutionState::MfComplete(ChainId chain) const {
+  return chain_states_[static_cast<size_t>(chain)].mf_complete;
+}
+
 int ExecutionState::CreateMaterializeAll(SourceId source,
                                          exec::ExecContext& ctx) {
   if (ma_temps_.empty()) {
@@ -337,6 +382,12 @@ void ExecutionState::OnFragmentFinished(int id, exec::ExecContext& ctx) {
   ++structural_version_;
   slot.runtime->Close(ctx);
   slot.active = false;
+  if (slot.is_mf && slot.chain != kInvalidId) {
+    // A naturally finished MF sealed the chain's full filtered prefix —
+    // exactly what the result cache may admit as a reusable segment (an
+    // MF stopped by CF activation never reaches this path).
+    chain_states_[static_cast<size_t>(slot.chain)].mf_complete = true;
+  }
   if (!slot.is_mf && slot.chain != kInvalidId) {
     ChainState& st = chain_states_[static_cast<size_t>(slot.chain)];
     if (!st.stages.empty()) {

@@ -28,6 +28,8 @@
 
 namespace dqsched::core {
 
+class CacheManager;
+
 /// Per-strategy knobs that shape fragment construction.
 struct ExecutionOptions {
   /// Temp I/O mode for fragments (DSE overlaps I/O with CPU; MA runs
@@ -45,6 +47,10 @@ struct ExecutionOptions {
   bool shared_context = false;
   /// Operator kernel selection, copied into every FragmentSpec.
   exec::KernelConfig kernels;
+  /// The shard's result cache, or nullptr when caching is off. The DQS
+  /// probes it at plan time (segment hits rebind chains to cached temps);
+  /// drivers admit completed MFs and result digests through it.
+  CacheManager* cache = nullptr;
 };
 
 /// All mutable execution state of one run.
@@ -103,6 +109,26 @@ class ExecutionState {
 
   /// Replaces the chain's input by a sealed temp (MA phase 2).
   void RebindChainToTemp(ChainId chain, TempId temp, exec::ExecContext& ctx);
+
+  /// Result-cache segment hit: replaces the chain's input by the adopted
+  /// sealed temp holding the cached MF segment — the source stream with
+  /// the chain's leading filters pre-applied, so the fragment skips them
+  /// (same complementarity as CF(p)). Requires the chain untouched: not
+  /// done, not degraded, never started. The caller closes the chain's
+  /// source so no live tuples race the cached copy.
+  void BindChainToCachedSegment(ChainId chain, TempId temp,
+                                exec::ExecContext& ctx);
+  /// True once BindChainToCachedSegment rebound this chain.
+  bool CacheBound(ChainId chain) const;
+  /// Marks the chain as cache-probed so the per-plan lookup runs at most
+  /// once per chain (deterministic hit/miss counters).
+  bool CacheProbed(ChainId chain) const;
+  void SetCacheProbed(ChainId chain);
+  /// True once the chain's MF ran to natural completion (its temp holds
+  /// the full filtered prefix of the source stream) — the admission
+  /// criterion for caching the segment.
+  bool MfComplete(ChainId chain) const;
+  int64_t cache_bound() const { return cache_bound_; }
 
   /// Creates an auxiliary materialize-everything fragment for `source`
   /// (MA phase 1): no operators, raw wrapper output to a temp. Returns the
@@ -177,6 +203,14 @@ class ExecutionState {
     bool done = false;
     bool degraded = false;
     bool cf_activated = false;
+    /// The MF fragment finished naturally (full filtered prefix sealed in
+    /// mf_temp) — distinguishes it from an MF stopped by CF activation,
+    /// whose temp holds only a partial prefix.
+    bool mf_complete = false;
+    /// The chain's input was rebound to a cached segment at plan time.
+    bool cache_bound = false;
+    /// The segment cache was already probed for this chain this run.
+    bool cache_probed = false;
     int mf_fragment = kInvalidId;
     TempId mf_temp = kInvalidId;
     /// Number of leading filter ops (what MF(p) applies before
@@ -209,6 +243,7 @@ class ExecutionState {
   bool cancelled_ = false;
   int64_t split_serial_ = 0;      // unique suffixes for split stage names
   uint64_t structural_version_ = 0;
+  int64_t cache_bound_ = 0;
   int64_t degradations_ = 0;
   int64_t cf_activations_ = 0;
   int64_t dqo_splits_ = 0;

@@ -174,9 +174,9 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
   // A storm is pointless without the detector watching for it.
   if (config_.storm.active()) comm_config.failure_detection = true;
 
-  // Logical source keys: breakers and storm regions are per *logical*
-  // source (template-relative relation), shared by every query instance
-  // reading it, and identically laid out on every shard.
+  // Logical source keys: breakers, storm regions and result-cache entries
+  // are per *logical* source (template-relative relation), shared by every
+  // query instance reading it, and identically laid out on every shard.
   std::vector<int> tpl_key_offset(templates_.size(), 0);
   int total_keys = 0;
   for (size_t t = 0; t < templates_.size(); ++t) {
@@ -184,6 +184,19 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
     total_keys += templates_[t].catalog.num_sources();
   }
 
+  // Result cache (DESIGN.md §14): one CacheManager per shard, created on
+  // the first cache-enabled Execute and kept across Execute calls — the
+  // warmth is the whole point. Epoch gating inside the cache keeps every
+  // entry admitted *this* run invisible until the next one, so run 1 is
+  // always cold.
+  const bool caching = config_.cache.enabled;
+  if (caching && caches_.empty()) {
+    caches_.resize(static_cast<size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      caches_[static_cast<size_t>(s)] =
+          std::make_unique<CacheManager>(config_.cache);
+    }
+  }
   // Per-query lifecycle state. Each entry is touched by its owning
   // shard's advance task mid-round and by the coordinator at barriers
   // (shed marking); ParallelRunner::Run joining its workers orders the
@@ -226,6 +239,18 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
     std::deque<plan::CompiledPlan> retry_plans;
   };
   std::vector<ShardRun> shards(static_cast<size_t>(num_shards));
+  // Return the reclaimable grants on every exit path. Declared after
+  // `shards` so it is destroyed first — the accountants the managers
+  // must release into live inside the shard ExecContexts. Entries stay
+  // resident across runs.
+  struct CacheDetach {
+    std::vector<std::unique_ptr<CacheManager>>* caches = nullptr;
+    ~CacheDetach() {
+      if (caches == nullptr) return;
+      for (std::unique_ptr<CacheManager>& c : *caches) c->DetachAccountant();
+    }
+  } cache_detach;
+  if (caching) cache_detach.caches = &caches_;
   for (int s = 0; s < num_shards; ++s) {
     ShardRun& sr = shards[static_cast<size_t>(s)];
     sr.ctx = std::make_unique<exec::ExecContext>(
@@ -236,6 +261,8 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
     // shard-local source id order, held: a held wrapper delivers nothing
     // and reports no arrival until its query is admitted and StartSource
     // releases it at the join time.
+    CacheManager* const shard_cache =
+        caching ? caches_[static_cast<size_t>(s)].get() : nullptr;
     for (int idx : shard_instances_[static_cast<size_t>(s)]) {
       const PreparedInstance& inst = instances_[static_cast<size_t>(idx)];
       const PreparedTemplate& tpl =
@@ -249,9 +276,15 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
         w->Hold();
         sr.ctx->comm.AddSource(
             std::move(w), static_cast<double>(config_.cost.MinWaitingTime()));
-        sr.source_key.push_back(
+        const int key =
             tpl_key_offset[static_cast<size_t>(inst.spec.template_idx)] +
-            static_cast<int>(src));
+            static_cast<int>(src);
+        sr.source_key.push_back(key);
+        // Instances of a template hash to the same cache entries: the
+        // fingerprint sees the logical key, not the shard-local id.
+        if (shard_cache != nullptr) {
+          shard_cache->MapSource(inst.source_lo + src, key);
+        }
       }
     }
     SharedQueryLoop::Options loop_options;
@@ -261,7 +294,12 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
     loop_options.targeted_replans = config_.targeted_replans;
     loop_options.surface_lifecycle = lifecycle;
     loop_options.kernels = config_.kernels;
+    loop_options.cache = shard_cache;
     sr.loop = std::make_unique<SharedQueryLoop>(sr.ctx.get(), loop_options);
+    if (shard_cache != nullptr) {
+      shard_cache->AttachAccountant(&sr.ctx->memory);
+      shard_cache->BeginRun();
+    }
   }
 
   MemoryBroker broker(MemoryBroker::Config{config_.memory_budget_bytes});
@@ -301,6 +339,8 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
   auto advance = [&](int s) {
     ShardRun& sr = shards[static_cast<size_t>(s)];
     exec::ExecContext& ctx = *sr.ctx;
+    CacheManager* const cache =
+        caching ? caches_[static_cast<size_t>(s)].get() : nullptr;
 
     // Fold the injection-side fault counters of one attempt's sources
     // into the query's accumulator (called exactly once per attempt, at
@@ -416,6 +456,42 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
         ++sr.retired;
         return;
       }
+      if (cache != nullptr) {
+        // Whole-query result hit (DESIGN.md §14): the fingerprint sees
+        // logical keys, so the first attempt's plan stands in for any
+        // attempt. The query joins already answered — its sources are
+        // never started (they stay held, like a shed query's), no storm
+        // schedule is compiled, no breaker is consulted — and the grant
+        // goes straight back to the broker.
+        int64_t hit_count = 0;
+        uint64_t hit_checksum = 0;
+        if (cache->LookupResult(inst.compiled, &hit_count, &hit_checksum)) {
+          ++ls.attempts;
+          SharedQueryDesc desc;
+          desc.compiled = &inst.compiled;
+          desc.source_lo = inst.source_lo;
+          desc.source_hi = inst.source_hi;
+          desc.deadline = ls.deadline;
+          desc.resolved = true;
+          desc.resolved_count = hit_count;
+          desc.resolved_checksum = hit_checksum;
+          const int slot = sr.loop->AddQuery(desc);
+          DQS_CHECK(slot == static_cast<int>(sr.slot_uid.size()));
+          sr.slot_uid.push_back(uid);
+          oc.joined = now;
+          oc.completed = now;
+          oc.completion_latency = now - oc.arrival;
+          oc.status = QueryStatus::kOk;
+          ls.terminal = true;
+          MemoryBroker::Release rel;
+          rel.uid = uid;
+          rel.bytes = grant.est_bytes;
+          rel.completed_at = now;
+          broker.Submit(rel);
+          ++sr.retired;
+          return;
+        }
+      }
       ++ls.attempts;
       SourceId lo = inst.source_lo;
       SourceId hi = inst.source_hi;
@@ -442,9 +518,11 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
           w->Hold();
           ctx.comm.AddSource(std::move(w),
                              static_cast<double>(config_.cost.MinWaitingTime()));
-          sr.source_key.push_back(
+          const int key =
               tpl_key_offset[static_cast<size_t>(inst.spec.template_idx)] +
-              static_cast<int>(src));
+              static_cast<int>(src);
+          sr.source_key.push_back(key);
+          if (cache != nullptr) cache->MapSource(lo + src, key);
         }
       }
       for (SourceId src = lo; src < hi; ++src) {
@@ -551,6 +629,14 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
           }
           oc.status =
               ls.partial ? QueryStatus::kPartial : QueryStatus::kOk;
+          if (cache != nullptr) {
+            // Harvest the clean completion: finished MFs whose sources
+            // were never closed become cached segments; a full (non-
+            // partial) answer also caches its result digest. Visible only
+            // from the next run on (epoch gating).
+            cache->AdmitQuery(sr.loop->state(slot), ctx,
+                              oc.status == QueryStatus::kOk);
+          }
           ls.terminal = true;
           MemoryBroker::Release rel;
           rel.uid = uid;
@@ -664,6 +750,25 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
                   static_cast<long long>(accounted));
   };
 
+  // Barrier-side cache arbitration: report every shard's cached bytes,
+  // then trim where firm grants plus the fleet's caches overflow the
+  // global budget. Fits() never saw the cached bytes, so admission —
+  // and with it the grant sequence — is untouched (work conservation).
+  auto reclaim = [&] {
+    if (!caching) return;
+    for (int s = 0; s < num_shards; ++s) {
+      broker.ReportReclaimable(
+          s, caches_[static_cast<size_t>(s)]->resident_bytes());
+    }
+    const std::vector<int64_t> trims = broker.ReclaimTargets(num_shards);
+    for (int s = 0; s < num_shards; ++s) {
+      if (trims[static_cast<size_t>(s)] > 0) {
+        CacheManager& c = *caches_[static_cast<size_t>(s)];
+        c.TrimTo(c.resident_bytes() - trims[static_cast<size_t>(s)]);
+      }
+    }
+  };
+
   ParallelRunner runner(jobs);
   int64_t rounds = 0;
   int shed_total = 0;  // terminals the broker retired (never joined)
@@ -699,6 +804,7 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
       ++shed_total;
     }
     audit();
+    reclaim();
     if (tasks.empty() && delivered == 0 && shed.empty()) {
       // No shard could run and arbitration admitted nothing: only an
       // over-budget head can block the queue. Force it through (the
@@ -708,6 +814,7 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
       }
       deliver(broker.ForceAdmit(num_shards));
       audit();
+      reclaim();
     }
   }
   DQS_CHECK_MSG(broker.outstanding_bytes() == 0 && !broker.HasQueued(),
@@ -758,6 +865,9 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
     so.temps = sr.ctx->temps.stats();
     out.makespan = std::max(out.makespan, so.makespan);
     out.breakers += sr.breakers->TotalStats();
+    if (caching) {
+      out.cache += caches_[static_cast<size_t>(s)]->stats();
+    }
   }
   for (int64_t uid = 0; uid < total; ++uid) {
     FleetQueryOutcome& oc = out.queries[static_cast<size_t>(uid)];
@@ -769,6 +879,18 @@ Result<FleetMetrics> FleetExecutor::Execute(StrategyKind strategy,
     ++out.status_counts[static_cast<size_t>(oc.status)];
   }
   return out;
+}
+
+void FleetExecutor::ResetCache() const {
+  for (const std::unique_ptr<CacheManager>& c : caches_) {
+    if (c != nullptr) c->Clear();
+  }
+}
+
+void FleetExecutor::BumpCacheVersion(int64_t logical_key) const {
+  for (const std::unique_ptr<CacheManager>& c : caches_) {
+    if (c != nullptr) c->BumpVersion(logical_key);
+  }
 }
 
 }  // namespace dqsched::core

@@ -31,11 +31,13 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "comm/comm_manager.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "core/cache_manager.h"
 #include "core/circuit_breaker.h"
 #include "core/memory_broker.h"
 #include "core/metrics.h"
@@ -103,6 +105,14 @@ struct FleetConfig {
   /// Correlated fault-storm scenario compiled into per-attempt fault
   /// schedules (wrapper/fault_model.h). kNone = no storm.
   wrapper::StormConfig storm;
+
+  // ---- Result cache (DESIGN.md §14) -------------------------------------
+  /// Per-shard materialized-fragment/result cache. Entries admitted in one
+  /// Execute become visible to the next Execute on the same FleetExecutor
+  /// (epoch gating), so a single run — and the first run of any sequence —
+  /// is byte-identical to cache=off on every non-wall metric except the
+  /// CacheStats counters themselves.
+  CacheConfig cache;
 };
 
 /// Per-query outcome, indexed by the query's stream uid.
@@ -163,6 +173,9 @@ struct FleetMetrics {
   BreakerStats breakers;
   /// Fault activity, summed over queries in ascending uid.
   FaultStats fault;
+  /// Result-cache activity, summed over shards in ascending id. Excluded
+  /// from the cache-off byte-identity contract (like planning_host_seconds).
+  CacheStats cache;
 };
 
 class FleetExecutor {
@@ -184,6 +197,14 @@ class FleetExecutor {
 
   int num_queries() const { return static_cast<int>(instances_.size()); }
   int num_shards() const { return config_.num_shards; }
+
+  /// Drops every shard cache (entries and counters). A following Execute
+  /// runs cold: byte-identical to cache=off on every non-wall metric.
+  void ResetCache() const;
+  /// Bumps the data version of logical source key `logical_key` on every
+  /// shard: cached entries derived from it become stale (lazy eviction on
+  /// the next probe). Test/driver hook for source-data churn.
+  void BumpCacheVersion(int64_t logical_key) const;
 
  private:
   struct PreparedTemplate {
@@ -221,6 +242,12 @@ class FleetExecutor {
   /// the shard-local source id order and wrapper registration order.
   std::vector<std::vector<int>> shard_instances_;
   FleetConfig config_;
+  /// Per-shard result caches, created lazily on the first Execute with
+  /// caching enabled and retained across Execute calls (warm runs).
+  /// mutable: the caches are a memo, not part of the fleet's identity —
+  /// Execute stays const and results stay a function of (config, workload,
+  /// cache contents at entry).
+  mutable std::vector<std::unique_ptr<CacheManager>> caches_;
 };
 
 }  // namespace dqsched::core

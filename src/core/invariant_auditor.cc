@@ -450,9 +450,11 @@ Status AuditExecutionState(const ExecutionState& state,
                               "consumed");
     }
     // A cancelled query's temps are dropped; a dropped temp holds no
-    // tuples and is exempt from the cardinality law.
+    // tuples and is exempt from the cardinality law. IsDropped must be
+    // checked first — every other accessor (IsSealed, Cardinality)
+    // hard-fails on a dropped temp.
     const TempId mf_temp = state.MfTemp(c);
-    if (ctx.temps.IsSealed(mf_temp) && !ctx.temps.IsDropped(mf_temp) &&
+    if (!ctx.temps.IsDropped(mf_temp) && ctx.temps.IsSealed(mf_temp) &&
         ctx.temps.Cardinality(mf_temp) != mf_rt.stats().produced) {
       return Status::Internal(
           "degradation lost tuples: MF(" + info.name + ") produced " +

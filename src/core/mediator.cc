@@ -194,9 +194,26 @@ Result<Mediator::TracedExecution> Mediator::ExecuteWithOptions(
                         config_.memory_budget_bytes);
   SetupContext(ctx);
 
+  // Per-run cache (see MediatorConfig::cache): fresh, so the run is
+  // always cold — epoch gating keeps its own admissions invisible — and
+  // Execute's determinism contract holds with caching on or off.
+  CacheManager run_cache(config_.cache);
+  struct Detach {
+    CacheManager* cache = nullptr;
+    ~Detach() {
+      if (cache != nullptr) cache->DetachAccountant();
+    }
+  } detach;
+
   ExecutionOptions options = OptionsFor(kind);
   options.trace = trace;
   options.kernels = config_.kernels;
+  if (config_.cache.enabled) {
+    run_cache.AttachAccountant(&ctx.memory);
+    detach.cache = &run_cache;
+    run_cache.BeginRun();
+    options.cache = &run_cache;
+  }
   ExecutionState state(&compiled_, &ctx, options);
   StrategyConfig strategy = config_.strategy;
   if (config_.query_deadline > 0) {
@@ -206,6 +223,10 @@ Result<Mediator::TracedExecution> Mediator::ExecuteWithOptions(
   if (!metrics.ok()) return metrics.status();
   if (!metrics->fault.partial_result) {
     DQS_RETURN_IF_ERROR(VerifyAgainstReference(*metrics, StrategyName(kind)));
+  }
+  if (config_.cache.enabled) {
+    run_cache.AdmitQuery(state, ctx, !metrics->fault.partial_result);
+    metrics->cache = run_cache.stats();
   }
   TracedExecution out;
   out.metrics = std::move(metrics.value());

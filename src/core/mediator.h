@@ -11,6 +11,7 @@
 
 #include "comm/comm_manager.h"
 #include "common/status.h"
+#include "core/cache_manager.h"
 #include "core/lwb.h"
 #include "core/trace.h"
 #include "core/metrics.h"
@@ -45,6 +46,12 @@ struct MediatorConfig {
   SimDuration query_deadline = 0;
   /// Operator kernels (vectorized by default; scalar for A/B runs).
   exec::KernelConfig kernels;
+  /// Result cache (DESIGN.md §14). The single-query mediator wires a
+  /// fresh per-run CacheManager, so every Execute is a cold run: the
+  /// admission/lookup paths are exercised, but Execute keeps its
+  /// "same mediator + strategy = same metrics" contract. Warm reuse lives
+  /// in the multi-query and fleet drivers, which persist their caches.
+  CacheConfig cache;
 };
 
 /// An integration query ready to execute.

@@ -151,4 +151,47 @@ bool MemoryBroker::HasQueued() const {
   return !interactive_.empty() || !batch_.empty();
 }
 
+void MemoryBroker::ReportReclaimable(int shard, int64_t bytes) {
+  DQS_CHECK(shard >= 0 && bytes >= 0);
+  if (reclaimable_by_shard_.size() <= static_cast<size_t>(shard)) {
+    reclaimable_by_shard_.resize(static_cast<size_t>(shard) + 1, 0);
+  }
+  reclaimable_by_shard_[static_cast<size_t>(shard)] = bytes;
+}
+
+std::vector<int64_t> MemoryBroker::ReclaimTargets(int num_shards) const {
+  std::vector<int64_t> targets(static_cast<size_t>(num_shards), 0);
+  int64_t cached_total = 0;
+  for (size_t s = 0; s < reclaimable_by_shard_.size(); ++s) {
+    cached_total += reclaimable_by_shard_[s];
+  }
+  int64_t excess = outstanding_bytes_ + cached_total -
+                   config_.total_budget_bytes;
+  if (excess <= 0) return targets;
+  // Greedy largest-cache-first (shard id breaks ties), so trims
+  // concentrate on the shards hoarding the most — and the order is a
+  // pure function of the reported sizes.
+  std::vector<int> order;
+  for (int s = 0; s < num_shards &&
+                  static_cast<size_t>(s) < reclaimable_by_shard_.size();
+       ++s) {
+    if (reclaimable_by_shard_[static_cast<size_t>(s)] > 0) {
+      order.push_back(s);
+    }
+  }
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    const int64_t ca = reclaimable_by_shard_[static_cast<size_t>(a)];
+    const int64_t cb = reclaimable_by_shard_[static_cast<size_t>(b)];
+    return ca != cb ? ca > cb : a < b;
+  });
+  for (int s : order) {
+    if (excess <= 0) break;
+    const int64_t take =
+        std::min(excess, reclaimable_by_shard_[static_cast<size_t>(s)]);
+    targets[static_cast<size_t>(s)] = take;
+    excess -= take;
+  }
+  return targets;
+}
+
 }  // namespace dqsched::core

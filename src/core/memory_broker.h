@@ -130,6 +130,24 @@ class MemoryBroker {
   int64_t outstanding_bytes() const { return outstanding_bytes_; }
   const Stats& stats() const { return stats_; }
 
+  // --- Reclaimable (cached) bytes, DESIGN.md §14 -------------------------
+  // Cached bytes never influence admission — Fits() ignores them entirely
+  // (they are stealable at any instant, so refusing a query over them
+  // would break work conservation). The broker's only cache duty is the
+  // inverse: when firm outstanding grants plus the fleet's caches exceed
+  // the global budget, it directs shards to trim. Barrier-side API, same
+  // single-threaded contract as Arbitrate.
+
+  /// Reports shard `shard`'s current cached (reclaimable) bytes. Called
+  /// by the coordinator at the barrier, after Arbitrate.
+  void ReportReclaimable(int shard, int64_t bytes);
+
+  /// Per-shard trim directives: bytes each shard must evict so that
+  /// outstanding + total cached fits the budget. Deterministic greedy:
+  /// largest cache first, shard id as tie-break. Zero-filled when
+  /// everything fits.
+  std::vector<int64_t> ReclaimTargets(int num_shards) const;
+
  private:
   struct QueuedRequest {
     Request request;
@@ -160,6 +178,8 @@ class MemoryBroker {
   /// Completion time of the latest release applied so far: the stamp
   /// base for grants that waited.
   SimTime last_freed_at_ = 0;
+  /// Last-reported cached bytes per shard (barrier-side only).
+  std::vector<int64_t> reclaimable_by_shard_;
   Stats stats_;
 };
 

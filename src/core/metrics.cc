@@ -67,6 +67,22 @@ std::string ExecutionMetrics::ToString() const {
         fault.deadline_hit ? ", DEADLINE HIT" : "");
     out += buf;
   }
+  if (cache.any()) {
+    std::snprintf(buf, sizeof(buf),
+                  "\ncache: %lld/%lld segment hits, %lld/%lld result hits, "
+                  "%lld+%lld admitted, %lld stale, %lld evicted",
+                  static_cast<long long>(cache.segment_hits),
+                  static_cast<long long>(cache.segment_hits +
+                                         cache.segment_misses),
+                  static_cast<long long>(cache.result_hits),
+                  static_cast<long long>(cache.result_hits +
+                                         cache.result_misses),
+                  static_cast<long long>(cache.admitted_segments),
+                  static_cast<long long>(cache.admitted_results),
+                  static_cast<long long>(cache.stale_invalidations),
+                  static_cast<long long>(cache.evictions));
+    out += buf;
+  }
   return out;
 }
 

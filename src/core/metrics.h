@@ -94,6 +94,48 @@ struct FaultStats {
   }
 };
 
+/// Result-cache activity of one execution (or one shard/run aggregate).
+/// Like planning_host_seconds, the cache counters sit OUTSIDE the
+/// byte-identity contract between cache-off and cold-cache runs — a cold
+/// run records misses and admissions where an off run records nothing —
+/// but they are deterministic across `--jobs` like every other field.
+/// All-zero (any() == false) whenever caching is off.
+struct CacheStats {
+  int64_t segment_hits = 0;
+  int64_t segment_misses = 0;
+  int64_t result_hits = 0;
+  int64_t result_misses = 0;
+  int64_t admitted_segments = 0;
+  int64_t admitted_results = 0;
+  /// Lookups that found their fingerprint under a stale version (the
+  /// entry was lazily evicted; the lookup also counts as a miss).
+  int64_t stale_invalidations = 0;
+  /// Entries removed by LRU budget pressure, accountant reclaim, or a
+  /// broker trim directive.
+  int64_t evictions = 0;
+
+  /// Aggregates across queries/shards in ascending index order (same
+  /// discipline as FaultStats).
+  CacheStats& operator+=(const CacheStats& other) {
+    segment_hits += other.segment_hits;
+    segment_misses += other.segment_misses;
+    result_hits += other.result_hits;
+    result_misses += other.result_misses;
+    admitted_segments += other.admitted_segments;
+    admitted_results += other.admitted_results;
+    stale_invalidations += other.stale_invalidations;
+    evictions += other.evictions;
+    return *this;
+  }
+
+  bool any() const {
+    return segment_hits != 0 || segment_misses != 0 || result_hits != 0 ||
+           result_misses != 0 || admitted_segments != 0 ||
+           admitted_results != 0 || stale_invalidations != 0 ||
+           evictions != 0;
+  }
+};
+
 /// Everything measured during one execution. Response time is virtual
 /// (simulated) time from query start to the last result tuple.
 struct ExecutionMetrics {
@@ -122,6 +164,10 @@ struct ExecutionMetrics {
   sim::NetworkStats network;
   storage::TempStoreStats temps;
   FaultStats fault;
+  /// Result-cache activity attributed to this query: hits it consumed,
+  /// misses it probed, segments/results it contributed. Outside the
+  /// off-vs-cold byte-identity contract (see CacheStats).
+  CacheStats cache;
 
   /// Host (wall-clock) seconds spent inside the DQS planning — the
   /// scheduling overhead the paper argues must be small (Section 3.3).

@@ -20,6 +20,15 @@ uint64_t MixSeed(uint64_t base, uint64_t a, uint64_t b) {
                         (b + 1) * 0xc2b2ae3d27d4eb4fULL);
 }
 
+/// Returns the cache's reclaimable grant before the accountant it was
+/// charged to dies, on every exit path.
+struct CacheDetach {
+  CacheManager* cache = nullptr;
+  ~CacheDetach() {
+    if (cache != nullptr) cache->DetachAccountant();
+  }
+};
+
 }  // namespace
 
 const char* MultiModeName(MultiMode mode) {
@@ -86,10 +95,38 @@ Result<MultiQueryMetrics> MultiQueryMediator::Execute(StrategyKind strategy,
 
 Result<MultiQueryMetrics> MultiQueryMediator::ExecuteSerial(
     StrategyKind strategy) const {
+  CacheManager* cache = nullptr;
+  if (config_.cache.enabled) {
+    if (cache_ == nullptr) {
+      cache_ = std::make_unique<CacheManager>(config_.cache);
+    }
+    cache = cache_.get();
+    cache->BeginRun();
+  }
   MultiQueryMetrics out;
   SimDuration offset = 0;
   for (size_t qi = 0; qi < queries_.size(); ++qi) {
     const PreparedQuery& q = queries_[qi];
+    if (cache != nullptr) {
+      // Whole-query result hit: the answer is served instantly, no
+      // context is even built — the query's user waits zero virtual time
+      // beyond the mix's current offset.
+      int64_t hit_count = 0;
+      uint64_t hit_checksum = 0;
+      if (cache->LookupResult(q.compiled, &hit_count, &hit_checksum)) {
+        if (config_.verify_results &&
+            (hit_count != q.reference.result_card ||
+             hit_checksum != q.reference.checksum.value())) {
+          return Status::Internal(
+              "serial multi-query cached result mismatch in query " +
+              std::to_string(qi));
+        }
+        out.response_times.push_back(offset);
+        out.statuses.push_back(QueryStatus::kOk);
+        out.total_result_tuples += hit_count;
+        continue;
+      }
+    }
     exec::ExecContext ctx(&config_.cost, config_.comm,
                           config_.memory_budget_bytes);
     // Every wrapper registers (global ids must resolve), but only this
@@ -108,6 +145,14 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteSerial(
     }
     ExecutionOptions options = OptionsFor(strategy);
     options.kernels = config_.kernels;
+    options.cache = cache;
+    // Destroyed before ctx: the reclaimable grant must leave the
+    // accountant while it still exists.
+    CacheDetach detach;
+    if (cache != nullptr) {
+      cache->AttachAccountant(&ctx.memory);
+      detach.cache = cache;
+    }
     ExecutionState state(&q.compiled, &ctx, options);
     Result<ExecutionMetrics> metrics =
         RunStrategy(strategy, state, ctx, config_.strategy);
@@ -117,6 +162,9 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteSerial(
          metrics->result_checksum != q.reference.checksum.value())) {
       return Status::Internal("serial multi-query result mismatch in query " +
                               std::to_string(qi));
+    }
+    if (cache != nullptr) {
+      cache->AdmitQuery(state, ctx, !metrics->fault.partial_result);
     }
     offset += metrics->response_time;
     out.response_times.push_back(offset);
@@ -137,14 +185,30 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteSerial(
   SimDuration sum = 0;
   for (SimDuration r : out.response_times) sum += r;
   out.mean_response = sum / static_cast<SimDuration>(queries_.size());
+  if (cache != nullptr) out.cache = cache->stats();
   return out;
 }
 
 Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
     StrategyKind strategy) const {
+  CacheManager* cache = nullptr;
+  if (config_.cache.enabled) {
+    if (cache_ == nullptr) {
+      cache_ = std::make_unique<CacheManager>(config_.cache);
+    }
+    cache = cache_.get();
+    cache->BeginRun();
+  }
   const int nq = num_queries();
   exec::ExecContext ctx(&config_.cost, config_.comm,
                         config_.memory_budget_bytes);
+  // Destroyed before ctx: the reclaimable grant must leave the
+  // accountant while it still exists.
+  CacheDetach detach;
+  if (cache != nullptr) {
+    cache->AttachAccountant(&ctx.memory);
+    detach.cache = cache;
+  }
   for (size_t qj = 0; qj < queries_.size(); ++qj) {
     const PreparedQuery& other = queries_[qj];
     for (SourceId s = 0; s < other.catalog.num_sources(); ++s) {
@@ -163,6 +227,7 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
   loop_options.slice_batches = config_.slice_batches;
   loop_options.targeted_replans = config_.targeted_replans;
   loop_options.kernels = config_.kernels;
+  loop_options.cache = cache;
   SharedQueryLoop loop(&ctx, loop_options);
   for (int qi = 0; qi < nq; ++qi) {
     const PreparedQuery& q = queries_[static_cast<size_t>(qi)];
@@ -170,12 +235,32 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
     desc.compiled = &q.compiled;
     desc.source_lo = q.source_offset;
     desc.source_hi = q.source_offset + q.catalog.num_sources();
+    if (cache != nullptr) {
+      // Whole-query result hit: the slot joins already answered and never
+      // enters the rotation; its wrappers are never drained.
+      int64_t hit_count = 0;
+      uint64_t hit_checksum = 0;
+      if (cache->LookupResult(q.compiled, &hit_count, &hit_checksum)) {
+        desc.resolved = true;
+        desc.resolved_count = hit_count;
+        desc.resolved_checksum = hit_checksum;
+      }
+    }
     loop.AddQuery(desc);
   }
 
   while (loop.active() > 0) {
     Result<SharedQueryLoop::Turn> turn = loop.Step();
     if (!turn.ok()) return turn.status();
+    if (turn->kind == SharedQueryLoop::Turn::Kind::kQueryDone) {
+      // The shared mode has no partial completions (no lifecycle layer):
+      // every finished query carries the full answer.
+      if (cache != nullptr) {
+        cache->AdmitQuery(loop.state(turn->query), ctx,
+                          /*result_complete=*/true);
+      }
+      continue;
+    }
     if (turn->kind != SharedQueryLoop::Turn::Kind::kAllStarved) continue;
     // Every unfinished query starves: advance the shared clock to the
     // earliest arrival any of them waits for. The loop never touches the
@@ -224,7 +309,16 @@ Result<MultiQueryMetrics> MultiQueryMediator::ExecuteShared(
     out.fault.reconnects += fs->reconnects;
     if (fs->died) ++out.fault.sources_killed;
   }
+  if (cache != nullptr) out.cache = cache->stats();
   return out;
+}
+
+void MultiQueryMediator::ResetCache() const {
+  if (cache_ != nullptr) cache_->Clear();
+}
+
+void MultiQueryMediator::BumpCacheVersion(int64_t logical_key) const {
+  if (cache_ != nullptr) cache_->BumpVersion(logical_key);
 }
 
 }  // namespace dqsched::core

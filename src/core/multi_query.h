@@ -19,8 +19,10 @@
 #ifndef DQSCHED_CORE_MULTI_QUERY_H_
 #define DQSCHED_CORE_MULTI_QUERY_H_
 
+#include <memory>
 #include <vector>
 
+#include "core/cache_manager.h"
 #include "core/mediator.h"
 #include "core/metrics.h"
 #include "core/strategy.h"
@@ -55,6 +57,11 @@ struct MultiQueryConfig {
   bool targeted_replans = false;
   /// Operator kernels (vectorized by default; scalar for A/B runs).
   exec::KernelConfig kernels;
+  /// Result cache (DESIGN.md §14). Entries admitted in one Execute become
+  /// visible to the next Execute on the same mediator (epoch gating), so
+  /// a single run is byte-identical to cache=off on every non-wall metric
+  /// except the CacheStats counters themselves.
+  CacheConfig cache;
 };
 
 /// Results of one multi-query execution.
@@ -84,6 +91,9 @@ struct MultiQueryMetrics {
   sim::NetworkStats network;
   storage::TempStoreStats temps;
   FaultStats fault;
+  /// Result-cache activity of this run. Excluded from the cache-off
+  /// byte-identity contract (like planning_host_seconds).
+  CacheStats cache;
 };
 
 /// A mix of integration queries sharing one mediator.
@@ -106,6 +116,14 @@ class MultiQueryMediator {
 
   int num_queries() const { return static_cast<int>(queries_.size()); }
 
+  /// Drops the cache (entries and counters): the next Execute runs cold,
+  /// byte-identical to cache=off on every non-wall metric.
+  void ResetCache() const;
+  /// Declares source-data churn on global source id `logical_key` (the
+  /// multi-query modes map sources to themselves): dependent entries
+  /// become stale misses.
+  void BumpCacheVersion(int64_t logical_key) const;
+
  private:
   struct PreparedQuery {
     wrapper::Catalog catalog;
@@ -124,6 +142,10 @@ class MultiQueryMediator {
 
   std::vector<PreparedQuery> queries_;
   MultiQueryConfig config_;
+  /// Created lazily on the first cache-enabled Execute and retained
+  /// across Execute calls (warm runs). mutable: a memo, not identity —
+  /// Execute stays const.
+  mutable std::unique_ptr<CacheManager> cache_;
 };
 
 }  // namespace dqsched::core

@@ -29,6 +29,7 @@ int SharedQueryLoop::AddQuery(const SharedQueryDesc& desc) {
   exec_options.result_override = run->result.get();
   exec_options.shared_context = true;
   exec_options.kernels = options_.kernels;
+  exec_options.cache = options_.cache;
   run->state =
       std::make_unique<ExecutionState>(desc.compiled, ctx_, exec_options);
   run->dqs = std::make_unique<Dqs>(options_.config.dqs);
@@ -38,7 +39,7 @@ int SharedQueryLoop::AddQuery(const SharedQueryDesc& desc) {
   dqp_config.deadline = desc.deadline;
   run->dqp = std::make_unique<Dqp>(dqp_config);
   run->dqo = std::make_unique<Dqo>();
-  if (options_.strategy == StrategyKind::kSeq) {
+  if (options_.strategy == StrategyKind::kSeq && !desc.resolved) {
     run->seq_order = desc.compiled->IteratorModelOrder();
   }
   runs_.push_back(std::move(run));
@@ -52,6 +53,18 @@ int SharedQueryLoop::AddQuery(const SharedQueryDesc& desc) {
 
   arrival_key_.push_back(kSimTimeNever);
   ring_next_.push_back(q);
+  if (desc.resolved) {
+    // Whole-query result-cache hit: the slot joins already done, with the
+    // cached digest adopted. It never enters the rotation — its sources
+    // stay untouched and cost the loop nothing.
+    QueryRun& done_run = *runs_.back();
+    done_run.result->AdoptCached(desc.resolved_count,
+                                 desc.resolved_checksum);
+    done_run.done = true;
+    done_run.done_at = ctx_->clock.now();
+    ring_next_[static_cast<size_t>(q)] = q;
+    return q;
+  }
   if (active_ == 0) {
     // First (or first-after-drain) query: a self-loop it alone occupies.
     ring_next_[static_cast<size_t>(q)] = q;
@@ -312,6 +325,11 @@ ExecutionMetrics SharedQueryLoop::QueryMetrics(int query) const {
   m.operand_spills = run.dqo->spills();
   m.timeouts = run.timeouts;
   m.rate_change_events = run.rate_change_events;
+  // Per-query cache attribution: chains this query served from cached
+  // segments, and whether the whole query was a result hit. Admission and
+  // miss counters live on the shard aggregate (the driver's CacheStats).
+  m.cache.segment_hits = run.state->cache_bound();
+  m.cache.result_hits = run.desc.resolved ? 1 : 0;
   return m;
 }
 

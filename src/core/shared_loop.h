@@ -55,6 +55,14 @@ struct SharedQueryDesc {
   /// (0 = unlimited). Only meaningful with Options::surface_lifecycle —
   /// the loop reports the expiry; the caller decides cancel vs retry.
   SimTime deadline = 0;
+  /// Result-cache whole-query hit (DESIGN.md §14): the query joins
+  /// already answered. Its slot is registered done with the cached digest
+  /// adopted into its collector; it never enters the rotation and its
+  /// sources are never drained. The caller does its own completion
+  /// bookkeeping (grants, latencies) on return from AddQuery.
+  bool resolved = false;
+  int64_t resolved_count = 0;
+  uint64_t resolved_checksum = 0;
 };
 
 class SharedQueryLoop {
@@ -74,6 +82,9 @@ class SharedQueryLoop {
     /// the default for the single-mediator multi-query mode).
     bool surface_lifecycle = false;
     exec::KernelConfig kernels;
+    /// The shard's result cache; nullptr = caching off. Wired into every
+    /// query's ExecutionOptions so Dqs::ComputePlan probes segments.
+    CacheManager* cache = nullptr;
   };
 
   /// `ctx` must outlive the loop. Every wrapper the registered queries
@@ -146,6 +157,11 @@ class SharedQueryLoop {
   }
   int64_t degradations(int query) const {
     return runs_[static_cast<size_t>(query)]->state->degradations();
+  }
+  /// The query's execution state (cache admission walks its completed
+  /// MFs; read-only).
+  const ExecutionState& state(int query) const {
+    return *runs_[static_cast<size_t>(query)]->state;
   }
 
   /// The per-query-attributable slice of ExecutionMetrics: result,

@@ -34,6 +34,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "deadline";
     case TraceEventKind::kCancelled:
       return "cancelled";
+    case TraceEventKind::kCacheHit:
+      return "cache-hit";
     case TraceEventKind::kQueryDone:
       return "query-done";
   }

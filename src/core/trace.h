@@ -34,6 +34,7 @@ enum class TraceEventKind {
   kSourceRecovered,// a suspected source delivered again
   kDeadline,       // the query's virtual-time budget expired
   kCancelled,      // lifecycle cancellation released the query's resources
+  kCacheHit,       // a chain was rebound to a cached segment (DESIGN.md §14)
   kQueryDone,
 };
 

@@ -35,6 +35,12 @@ class ResultCollector {
     for (int64_t i = 0; i < n; ++i) checksum_.Add(data[i]);
     // dqs-analyze: end-allow(kernel-push)
   }
+  /// Restores a cached result digest (a result-cache hit answers the
+  /// whole query without producing tuples).
+  void AdoptCached(int64_t count, uint64_t sum) {
+    checksum_.Adopt(sum, count);
+  }
+
   int64_t count() const { return checksum_.count(); }
   const storage::ResultChecksum& checksum() const { return checksum_; }
 

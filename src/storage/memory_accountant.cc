@@ -16,6 +16,16 @@ Status MemoryAccountant::Grant(int64_t bytes) {
   }
   granted_ += bytes;
   if (granted_ > peak_) peak_ = granted_;
+  if (granted_ + reclaimable_ > budget_ && reclaimer_) {
+    // The firm grant displaces cached bytes: ask the cache to evict the
+    // deficit. The reclaimer calls ReleaseReclaimable per entry freed.
+    reclaimer_(granted_ + reclaimable_ - budget_);
+  }
+  DQS_CHECK_MSG(granted_ + reclaimable_ <= budget_,
+                "reclaimer left %lld reclaimable with %lld granted of %lld",
+                static_cast<long long>(reclaimable_),
+                static_cast<long long>(granted_),
+                static_cast<long long>(budget_));
   return Status::Ok();
 }
 
@@ -25,6 +35,22 @@ void MemoryAccountant::Release(int64_t bytes) {
                 static_cast<long long>(bytes),
                 static_cast<long long>(granted_));
   granted_ -= bytes;
+}
+
+void MemoryAccountant::GrantReclaimable(int64_t bytes) {
+  DQS_CHECK_MSG(bytes >= 0 && granted_ + reclaimable_ + bytes <= budget_,
+                "reclaimable grant %lld exceeds headroom %lld",
+                static_cast<long long>(bytes),
+                static_cast<long long>(budget_ - granted_ - reclaimable_));
+  reclaimable_ += bytes;
+}
+
+void MemoryAccountant::ReleaseReclaimable(int64_t bytes) {
+  DQS_CHECK_MSG(bytes >= 0 && bytes <= reclaimable_,
+                "reclaimable release %lld with reclaimable %lld",
+                static_cast<long long>(bytes),
+                static_cast<long long>(reclaimable_));
+  reclaimable_ -= bytes;
 }
 
 }  // namespace dqsched::storage

@@ -9,29 +9,62 @@
 #define DQSCHED_STORAGE_MEMORY_ACCOUNTANT_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "common/status.h"
 
 namespace dqsched::storage {
 
 /// Tracks grants against a fixed byte budget. Single-threaded.
+///
+/// Two grant classes share the budget:
+///  * firm grants (Grant/Release) — live execution memory: operands,
+///    buffered temps. Success/failure, available() and peak() depend on
+///    firm grants ALONE, so wiring a cache underneath never changes a
+///    scheduling or spill decision.
+///  * reclaimable grants (GrantReclaimable/ReleaseReclaimable) — cached
+///    bytes that are always stealable: whenever firm + reclaimable would
+///    exceed the budget, the reclaimer callback is asked to free the
+///    difference (the cache evicts LRU entries), so live queries always
+///    win the budget (work conservation, DESIGN.md §14).
 class MemoryAccountant {
  public:
   explicit MemoryAccountant(int64_t budget_bytes) : budget_(budget_bytes) {}
 
   /// Attempts to reserve `bytes`. Fails with kResourceExhausted (and grants
-  /// nothing) when the budget would be exceeded.
+  /// nothing) when the budget would be exceeded. On success, reclaimable
+  /// bytes are stolen (via the reclaimer) until firm + reclaimable fits
+  /// the budget again.
   Status Grant(int64_t bytes);
 
   /// Returns a previous grant. Aborts if more is released than was granted
   /// (a library bug).
   void Release(int64_t bytes);
 
+  /// Registers `bytes` of reclaimable (cached) memory. The caller must
+  /// keep reclaimable() within headroom() — the cache evicts before it
+  /// admits.
+  void GrantReclaimable(int64_t bytes);
+  void ReleaseReclaimable(int64_t bytes);
+
+  /// The function invoked (with a byte deficit) when firm grants need
+  /// reclaimable space back; it must free at least the requested amount
+  /// if it can, returning the bytes actually freed via
+  /// ReleaseReclaimable calls it makes.
+  void SetReclaimer(std::function<void(int64_t)> reclaimer) {
+    reclaimer_ = std::move(reclaimer);
+  }
+
   int64_t budget() const { return budget_; }
   int64_t granted() const { return granted_; }
   int64_t available() const { return budget_ - granted_; }
+  int64_t reclaimable() const { return reclaimable_; }
+  /// Budget space a new reclaimable grant may take right now.
+  int64_t headroom() const { return budget_ - granted_ - reclaimable_; }
   /// Largest `granted()` ever observed; the memory-safety invariant tests
-  /// assert peak() <= budget().
+  /// assert peak() <= budget(). Reclaimable bytes are excluded — they are
+  /// evictable at any instant, so they never endanger the invariant.
   int64_t peak() const { return peak_; }
 
   void Reset() {
@@ -42,7 +75,9 @@ class MemoryAccountant {
  private:
   int64_t budget_;
   int64_t granted_ = 0;
+  int64_t reclaimable_ = 0;
   int64_t peak_ = 0;
+  std::function<void(int64_t)> reclaimer_;
 };
 
 }  // namespace dqsched::storage

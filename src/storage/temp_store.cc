@@ -69,6 +69,23 @@ void TempStore::Seal(TempId id) {
   rel.sealed = true;
 }
 
+TempId TempStore::AdoptSealed(std::string name, const Tuple* data,
+                              int64_t n) {
+  const TempId id = Create(std::move(name));
+  TempRel& rel = Get(id);
+  rel.tuples.assign(data, data + n);
+  rel.flushed_tuples = n;  // on disk already: adopted segments were
+                           // flushed when first materialized
+  rel.sealed = true;
+  return id;
+}
+
+const std::vector<Tuple>& TempStore::Tuples(TempId id) const {
+  const TempRel& rel = Get(id);
+  DQS_CHECK_MSG(rel.sealed, "Tuples() of unsealed temp %d", id);
+  return rel.tuples;
+}
+
 bool TempStore::IsSealed(TempId id) const { return Get(id).sealed; }
 
 int64_t TempStore::Cardinality(TempId id) const {
@@ -152,6 +169,13 @@ void TempStore::Drop(TempId id) {
   rel.dropped = true;
 }
 
-bool TempStore::IsDropped(TempId id) const { return Get(id).dropped; }
+bool TempStore::IsDropped(TempId id) const {
+  // Deliberately not through Get(): this is the one accessor that must be
+  // callable on a dropped temp — cancellation paths and the invariant
+  // auditor use it to decide whether the temp may be touched at all.
+  DQS_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < temps_.size(),
+                "bad temp id %d", id);
+  return temps_[static_cast<size_t>(id)].dropped;
+}
 
 }  // namespace dqsched::storage

@@ -68,6 +68,17 @@ class TempStore {
   /// only allowed on sealed temps.
   void Seal(TempId id);
 
+  /// Materializes a pre-sealed temp from an already-resident tuple block (a
+  /// result-cache hit). No disk writes are charged: the bytes were written
+  /// (and paid for) when the segment was originally materialized; the cache
+  /// only restores the mapping. Reads charge normally.
+  TempId AdoptSealed(std::string name, const Tuple* data, int64_t n);
+
+  /// Direct read-only access to a sealed temp's tuples (cache admission
+  /// snapshots a completed MF through this; no simulated charge — admission
+  /// is host-side bookkeeping, like planning_host_seconds).
+  const std::vector<Tuple>& Tuples(TempId id) const;
+
   bool IsSealed(TempId id) const;
   int64_t Cardinality(TempId id) const;
   const std::string& Name(TempId id) const;

@@ -69,6 +69,13 @@ class ResultChecksum {
   uint64_t value() const { return sum_; }
   int64_t count() const { return count_; }
 
+  /// Replaces the accumulated state with a previously computed digest
+  /// (a result-cache hit restoring the exact multiset summary it stored).
+  void Adopt(uint64_t sum, int64_t count) {
+    sum_ = sum;
+    count_ = count;
+  }
+
   friend bool operator==(const ResultChecksum& a, const ResultChecksum& b) {
     return a.sum_ == b.sum_ && a.count_ == b.count_;
   }

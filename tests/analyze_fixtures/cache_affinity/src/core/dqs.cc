@@ -1,0 +1,6 @@
+#include "core/cache_manager.h"
+
+void PlanTimeHit() {
+  CacheManager* manager = nullptr;
+  (void)manager;
+}

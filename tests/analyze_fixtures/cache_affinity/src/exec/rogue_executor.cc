@@ -1,0 +1,8 @@
+#include "storage/result_cache.h"
+
+void Probe() {
+  ResultCache* cache = nullptr;
+  CacheManager* manager = nullptr;
+  (void)cache;
+  (void)manager;
+}

@@ -1,11 +1,11 @@
 // Determinism-under-parallelism and stress coverage for the bench-suite's
-// work-stealing runner (bench/parallel_runner.h). Enforces the
+// work-stealing runner (src/common/parallel_runner.h). Enforces the
 // one-Mediator-per-thread threading contract: the same cells run serially
 // and on many threads must produce identical checksums and identical
 // simulated seconds. Built under -fsanitize=thread by the `tsan` CMake
 // preset, this is also the data-race gate for the runner itself.
 
-#include "parallel_runner.h"
+#include "common/parallel_runner.h"
 
 #include <atomic>
 #include <numeric>

@@ -67,6 +67,17 @@ confined to the layers that own it):
                    into mechanism code and couple layers the DAG keeps
                    apart.
 
+cache affinity (DESIGN §14 — the result cache touches the scheduler at
+exactly two reviewed points):
+  cache-affinity   the cache API (storage/result_cache.h,
+                   core/cache_manager.h, and the ResultCache /
+                   CacheManager names) may appear only in the cache
+                   files themselves and the blessed integration sites
+                   (dqs, shared loop, execution state, and the three
+                   drivers); a new consumer anywhere else would add an
+                   unreviewed hit point and erode the off-vs-cold
+                   byte-identity argument.
+
 legacy conventions (ported from dqs_lint.py, same semantics):
   guard            include guards are DQSCHED_<REL_PATH>_H_ with a
                    matching `#endif  // ...` trailer
@@ -163,6 +174,26 @@ BROKER_BLESSED_PREFIXES = ("core/memory_broker", "core/fleet_executor")
 # admission policy into mechanism code.
 BREAKER_BLESSED_PREFIXES = ("core/", "comm/")
 BREAKER_NAMES = {"CircuitBreaker", "BreakerPanel"}
+
+# Owners and reviewed consumers of the result cache (DESIGN §14): the
+# mechanism (storage/result_cache.*), the policy (core/cache_manager.*),
+# and the blessed integration sites — the two scheduler touchpoints
+# (plan-time segment hits in dqs.cc, result-digest hits via the shared
+# loop / execution state) and the three drivers that own a CacheManager's
+# lifetime. Any other file taking a cache dependency would add an
+# unreviewed hit point outside the epoch-gating argument.
+CACHE_BLESSED = {
+    "storage/result_cache.h", "storage/result_cache.cc",
+    "core/cache_manager.h", "core/cache_manager.cc",
+    "core/dqs.cc",
+    "core/execution_state.h",
+    "core/shared_loop.h",
+    "core/mediator.h", "core/mediator.cc",
+    "core/multi_query.h", "core/multi_query.cc",
+    "core/fleet_executor.h", "core/fleet_executor.cc",
+}
+CACHE_HEADERS = {"storage/result_cache.h", "core/cache_manager.h"}
+CACHE_NAMES = {"ResultCache", "CacheManager"}
 
 CHARGE_METHODS = {
     "Advance", "AdvanceTo", "BusyUntil", "StallUntil",
@@ -912,6 +943,32 @@ def check_breaker_affinity(an, f):
                     "breaker state machine is confined to the lifecycle "
                     "layer (DESIGN §13) so storms and recoveries stay a "
                     "pure function of the virtual event stream")
+
+
+# --------------------------------------------------------------------------
+# Cache-affinity rule.
+# --------------------------------------------------------------------------
+
+
+@rule("cache-affinity", "file")
+def check_cache_affinity(an, f):
+    if f.rel in CACHE_BLESSED:
+        return
+    for line, target in f.quoted_includes:
+        if target in CACHE_HEADERS:
+            an.emit(f, line, "cache-affinity",
+                    f'#include "{target}" outside the cache files and '
+                    "their blessed integration sites (DESIGN §14); the "
+                    "result cache touches the scheduler at exactly two "
+                    "reviewed points, and a new consumer would erode the "
+                    "off-vs-cold byte-identity argument")
+    for tok in f.tokens:
+        if tok.kind == "id" and tok.value in CACHE_NAMES:
+            an.emit(f, tok.line, "cache-affinity",
+                    f"`{tok.value}` named outside the cache files and "
+                    "their blessed integration sites (DESIGN §14); cache "
+                    "lookups and admissions are confined so epoch gating "
+                    "stays the single visibility mechanism")
 
 
 # --------------------------------------------------------------------------
